@@ -1,0 +1,135 @@
+"""E14 -- Application device channels versus kernel-mediated access
+(sections 3.2 and 4).
+
+Claims: the ADC user-to-user path performs within the error margins of
+the kernel-to-kernel path ('no penalty for crossing the protection
+domain boundary'); a conventional user-space path that traps into the
+kernel for every message is substantially slower.
+"""
+
+import pytest
+
+from repro.adc import AdcChannelDriver, AdcManager
+from repro.host.domains import cross_domain
+from repro.hw import DS5000_200
+from repro.net import Host
+from repro.sim import Simulator, spawn
+from repro.xkernel.protocols.testproto import TestProgram
+
+SIZE = 1024
+ROUNDS = 10
+
+
+def _loopback_host():
+    sim = Simulator()
+    host = Host(sim, DS5000_200, reserved_bytes=8 * 1024 * 1024)
+    host.connect(link=None, deliver=host.board.deliver_cell)
+    return sim, host
+
+
+def kernel_path_latency() -> float:
+    sim, host = _loopback_host()
+    app, _ = host.open_raw_path()
+    samples = []
+
+    def pinger():
+        for _ in range(ROUNDS):
+            start = sim.now
+            before = len(app.receptions)
+            yield from app.send_length(SIZE)
+            while len(app.receptions) == before:
+                yield app.on_receive
+            samples.append(sim.now - start)
+
+    spawn(sim, pinger(), "pinger")
+    sim.run()
+    return sorted(samples)[len(samples) // 2]
+
+
+def adc_path_latency() -> float:
+    sim, host = _loopback_host()
+    manager = AdcManager(host.kernel, host.board)
+    domain = host.kernel.create_domain("app")
+    grant = manager.open(domain)
+    driver = AdcChannelDriver(sim, host.kernel, host.board, grant,
+                              host.driver)
+    session = driver.open_path()
+    app = TestProgram(host.test, session)
+    samples = []
+
+    def pinger():
+        for _ in range(ROUNDS):
+            start = sim.now
+            before = len(app.receptions)
+            msg = driver.new_message(b"\xA5" * SIZE)
+            yield from session.send(msg)
+            while len(app.receptions) == before:
+                yield app.on_receive
+            samples.append(sim.now - start)
+
+    spawn(sim, pinger(), "pinger")
+    sim.run()
+    return sorted(samples)[len(samples) // 2]
+
+
+def trapping_user_path_latency() -> float:
+    """Conventional user-space networking: every send and receive
+    crosses the user/kernel boundary."""
+    sim, host = _loopback_host()
+    app, _ = host.open_raw_path()
+    user = host.kernel.create_domain("user-app")
+    samples = []
+
+    def pinger():
+        for _ in range(ROUNDS):
+            start = sim.now
+            before = len(app.receptions)
+            # Trap into the kernel to send...
+            yield from cross_domain(host.cpu, host.kernel.kernel_domain)
+            yield from app.send_length(SIZE)
+            while len(app.receptions) == before:
+                yield app.on_receive
+            # ...and cross back out to deliver to the application.
+            yield from cross_domain(host.cpu, user)
+            samples.append(sim.now - start)
+
+    spawn(sim, pinger(), "pinger")
+    sim.run()
+    return sorted(samples)[len(samples) // 2]
+
+
+@pytest.fixture(scope="module")
+def latencies():
+    return {
+        "kernel-to-kernel": kernel_path_latency(),
+        "ADC user-to-user": adc_path_latency(),
+        "trapping user-space": trapping_user_path_latency(),
+    }
+
+
+def test_adc_benchmark(benchmark, latencies):
+    benchmark.pedantic(adc_path_latency, rounds=1, iterations=1)
+    print()
+    print(f"One-way-and-back delivery latency ({SIZE} B, loopback):")
+    for name, value in latencies.items():
+        print(f"  {name:22} {value:8.1f} us")
+        benchmark.extra_info[name] = round(value, 1)
+    kernel = latencies["kernel-to-kernel"]
+    adc = latencies["ADC user-to-user"]
+    assert abs(adc - kernel) / kernel < 0.15
+
+
+def test_adc_within_error_margins_of_kernel(latencies):
+    """Paper section 4: 'the measured results were within the error
+    margins of those obtained in the kernel-to-kernel case'."""
+    kernel = latencies["kernel-to-kernel"]
+    adc = latencies["ADC user-to-user"]
+    assert abs(adc - kernel) / kernel < 0.15
+
+
+def test_trapping_path_pays_domain_crossings(latencies):
+    """Without ADCs, a user-space application pays ~2 crossings per
+    message (95 us each on the DS)."""
+    trapping = latencies["trapping user-space"]
+    kernel = latencies["kernel-to-kernel"]
+    assert trapping > kernel + 150

@@ -1,0 +1,72 @@
+"""E6 -- Interrupt discipline ablation (section 2.1.2).
+
+Coalesced interrupts (one per receive-queue empty->non-empty
+transition) versus the traditional one per PDU, under a packet train.
+Claims: coalescing cuts interrupts to well under one per PDU and wins
+throughput on the DS5000/200, where each interrupt burns 75 us.
+"""
+
+import pytest
+
+from repro.baselines import run_interrupt_discipline
+from repro.hw import DEC3000_600, DS5000_200
+from repro.osiris import InterruptMode
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for machine in (DS5000_200, DEC3000_600):
+        for mode in InterruptMode:
+            out[(machine.name, mode)] = run_interrupt_discipline(
+                machine, 4096, mode, messages=60)
+    return out
+
+
+def test_interrupt_ablation_benchmark(benchmark, results):
+    benchmark.pedantic(
+        lambda: run_interrupt_discipline(DS5000_200, 4096,
+                                         InterruptMode.COALESCED,
+                                         messages=30),
+        rounds=1, iterations=1)
+    print()
+    print("Interrupt discipline (4 KB messages, 60-message train):")
+    for (machine, mode), r in results.items():
+        line = (f"  {machine:24} {mode.value:10} "
+                f"{r.mbps:7.1f} Mbps  {r.interrupts_per_pdu:5.2f} "
+                f"interrupts/PDU")
+        print(line)
+        benchmark.extra_info[f"{machine}/{mode.value}"] = {
+            "mbps": round(r.mbps, 1),
+            "irq_per_pdu": round(r.interrupts_per_pdu, 3),
+        }
+    coalesced = results[(DS5000_200.name, InterruptMode.COALESCED)]
+    per_pdu = results[(DS5000_200.name, InterruptMode.PER_PDU)]
+    assert coalesced.interrupts_per_pdu < 0.35
+    assert per_pdu.interrupts_per_pdu > 0.9
+    assert coalesced.mbps > per_pdu.mbps
+
+
+def test_coalescing_is_much_less_than_one_per_pdu(results):
+    """Paper: 'in situations where high throughput is required the
+    number of interrupts is much lower than the traditional
+    one-per-PDU'."""
+    r = results[(DS5000_200.name, InterruptMode.COALESCED)]
+    assert r.interrupts_per_pdu < 0.35
+
+
+def test_per_pdu_costs_throughput_on_slow_host(results):
+    slow = results[(DS5000_200.name, InterruptMode.PER_PDU)]
+    fast = results[(DS5000_200.name, InterruptMode.COALESCED)]
+    # Each extra interrupt costs 75 + 8 us of a ~300 us budget.
+    assert fast.mbps > slow.mbps * 1.1
+
+
+def test_alpha_less_sensitive(results):
+    """The Alpha's 20 us interrupts hurt relatively less."""
+    ds_ratio = (results[(DS5000_200.name, InterruptMode.COALESCED)].mbps
+                / results[(DS5000_200.name, InterruptMode.PER_PDU)].mbps)
+    alpha_ratio = (
+        results[(DEC3000_600.name, InterruptMode.COALESCED)].mbps
+        / results[(DEC3000_600.name, InterruptMode.PER_PDU)].mbps)
+    assert ds_ratio > alpha_ratio * 0.98

@@ -1,0 +1,119 @@
+"""E7 -- Lock-free queues versus the test-and-set spin-lock
+(section 2.1.1).
+
+The same host/board producer-consumer pattern under both disciplines.
+Claims: the lock-free queue finishes the workload substantially
+faster, and the locked variant burns extra bus words on lock traffic
+and spin reads.
+"""
+
+import pytest
+
+from repro.baselines import LockedDescriptorQueue
+from repro.hw import DS5000_200, DualPortMemory, TurboChannel
+from repro.osiris import Descriptor, DescriptorQueue
+from repro.sim import Delay, Simulator, spawn
+
+N_ITEMS = 200
+BOARD_SERVICE_US = 0.4
+
+
+def run_lockfree() -> dict:
+    sim = Simulator()
+    tc = TurboChannel(sim, DS5000_200.bus)
+    dp = DualPortMemory(8192)
+    queue = DescriptorQueue(dp, 0, 32, host_is_writer=True)
+
+    def host():
+        for i in range(N_ITEMS):
+            while not queue.push(Descriptor(addr=0x1000, length=i)):
+                yield Delay(0.5)
+            reads, writes = queue.host_access.reset()
+            yield from tc.pio_read_words(reads)
+            yield from tc.pio_write_words(writes)
+
+    def board():
+        count = 0
+        while count < N_ITEMS:
+            desc = queue.pop(by_host=False)
+            if desc is None:
+                yield Delay(0.2)
+            else:
+                count += 1
+                yield Delay(BOARD_SERVICE_US)
+
+    spawn(sim, host())
+    spawn(sim, board())
+    sim.run()
+    return {"makespan_us": sim.now, "pio_words": tc.pio_words}
+
+
+def run_locked() -> dict:
+    sim = Simulator()
+    tc = TurboChannel(sim, DS5000_200.bus)
+    dp = DualPortMemory(8192)
+    queue = LockedDescriptorQueue(sim, tc, dp, 0, 32,
+                                  host_is_writer=True)
+
+    def host():
+        for i in range(N_ITEMS):
+            while True:
+                ok = yield from queue.push(
+                    Descriptor(addr=0x1000, length=i), by_host=True)
+                if ok:
+                    break
+                yield Delay(0.5)
+
+    def board():
+        count = 0
+        while count < N_ITEMS:
+            desc = yield from queue.pop(by_host=False)
+            if desc is None:
+                yield Delay(0.2)
+            else:
+                count += 1
+                yield Delay(BOARD_SERVICE_US)
+
+    spawn(sim, host())
+    spawn(sim, board())
+    sim.run()
+    return {
+        "makespan_us": sim.now,
+        "pio_words": tc.pio_words,
+        "failed_acquires": queue.lock.register.failed_attempts,
+        "host_spin_us": queue.lock.host_spin_time,
+    }
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {"lockfree": run_lockfree(), "locked": run_locked()}
+
+
+def test_lockfree_ablation_benchmark(benchmark, results):
+    benchmark.pedantic(run_lockfree, rounds=1, iterations=1)
+    print()
+    print(f"Queue discipline over {N_ITEMS} descriptors:")
+    for name, r in results.items():
+        print(f"  {name:9} makespan {r['makespan_us']:9.1f} us, "
+              f"{r['pio_words']} bus words")
+        benchmark.extra_info[name] = r
+    assert results["locked"]["makespan_us"] > \
+        results["lockfree"]["makespan_us"] * 1.5
+
+
+def test_lockfree_is_faster(results):
+    assert results["lockfree"]["makespan_us"] < \
+        results["locked"]["makespan_us"] / 1.5
+
+
+def test_locked_burns_more_bus_words(results):
+    """Lock traffic (acquire/release/spin reads) is pure overhead on
+    the expensive dual-port path."""
+    assert results["locked"]["pio_words"] > \
+        results["lockfree"]["pio_words"] * 1.3
+
+
+def test_contention_actually_happened(results):
+    assert results["locked"]["failed_acquires"] > 0
+    assert results["locked"]["host_spin_us"] > 0

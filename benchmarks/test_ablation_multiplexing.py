@@ -1,0 +1,71 @@
+"""E15 -- Transmit multiplexing granularity (section 2.5.1).
+
+'Fine-grained multiplexing is advantageous for latency and switch
+performance ... when the goal is to maximize throughput to a single
+application, neither of these reasons is relevant.'  Interleaving one
+cell per active PDU slashes the wire latency of a small PDU queued
+behind a large one, at no aggregate-throughput cost.
+"""
+
+import pytest
+
+from repro.osiris import TxProcessor
+
+import sys
+sys.path.insert(0, "tests")
+from conftest import BoardRig  # noqa: E402
+
+
+def _race(interleave: bool) -> dict:
+    rig = BoardRig()
+    rig.board.open_channel(1)
+    rig.board.open_channel(2)
+    finish = {}
+    cells = {"n": 0}
+
+    def deliver(cell):
+        cells["n"] += 1
+        if cell.eom:
+            finish.setdefault(cell.vci, rig.sim.now)
+
+    TxProcessor(rig.sim, rig.board, deliver=deliver,
+                interleave=interleave)
+    rig.queue_pdu(b"L" * 65536, vci=11, channel_id=1)   # bulk transfer
+    rig.queue_pdu(b"s" * 200, vci=22, channel_id=2)     # latency-bound
+    rig.sim.run()
+    return {
+        "small_pdu_done_us": finish[22],
+        "large_pdu_done_us": finish[11],
+        "total_us": rig.sim.now,
+        "cells": cells["n"],
+    }
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {"sequential": _race(False), "interleaved": _race(True)}
+
+
+def test_multiplexing_benchmark(benchmark, results):
+    benchmark.pedantic(lambda: _race(True), rounds=1, iterations=1)
+    print()
+    print("200 B PDU queued behind a 64 KB PDU:")
+    for name, r in results.items():
+        print(f"  {name:11} small PDU on wire at {r['small_pdu_done_us']:8.1f} us, "
+              f"all done at {r['total_us']:8.1f} us")
+        benchmark.extra_info[name] = r
+    assert results["interleaved"]["small_pdu_done_us"] < \
+        results["sequential"]["small_pdu_done_us"] / 20
+
+
+def test_interleaving_slashes_small_pdu_latency(results):
+    seq = results["sequential"]["small_pdu_done_us"]
+    il = results["interleaved"]["small_pdu_done_us"]
+    assert il < seq / 20
+
+
+def test_aggregate_throughput_unchanged(results):
+    assert results["interleaved"]["total_us"] == pytest.approx(
+        results["sequential"]["total_us"], rel=0.05)
+    assert results["interleaved"]["cells"] == \
+        results["sequential"]["cells"]

@@ -1,0 +1,50 @@
+"""E10 -- Page wiring cost on the transmit path (section 2.4).
+
+Mach's standard wiring service was 'surprisingly' expensive; the
+driver switched to low-level functionality.  Claims: standard wiring
+costs visible transmit throughput and latency; the fast path makes
+wiring a minor cost.
+"""
+
+import pytest
+
+from repro.bench import measure_round_trip, measure_transmit_throughput
+from repro.host.wiring import WiringStyle
+from repro.hw import DS5000_200, with_costs
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {
+        style: measure_transmit_throughput(
+            DS5000_200, 16 * 1024, wiring_style=style, messages=30)
+        for style in WiringStyle
+    }
+
+
+def test_wiring_benchmark(benchmark, results):
+    benchmark.pedantic(
+        lambda: measure_transmit_throughput(
+            DS5000_200, 16 * 1024,
+            wiring_style=WiringStyle.MACH_STANDARD, messages=15),
+        rounds=1, iterations=1)
+    print()
+    print("Transmit throughput by wiring style (16 KB messages):")
+    for style, r in results.items():
+        print(f"  {style.value:18} {r.mbps:7.1f} Mbps")
+        benchmark.extra_info[style.value] = round(r.mbps, 1)
+    fast = results[WiringStyle.FAST_LOW_LEVEL].mbps
+    mach = results[WiringStyle.MACH_STANDARD].mbps
+    assert mach < fast
+
+
+def test_mach_wiring_costs_transmit_throughput(results):
+    fast = results[WiringStyle.FAST_LOW_LEVEL].mbps
+    mach = results[WiringStyle.MACH_STANDARD].mbps
+    # 5 pages/message x (45-4) us extra ~= 200 us on a ~450 us budget.
+    assert mach < fast * 0.85
+
+
+def test_wiring_cost_per_page_ratio():
+    costs = DS5000_200.costs
+    assert costs.page_wire_mach > 8 * costs.page_wire_fast

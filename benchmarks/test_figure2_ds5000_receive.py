@@ -1,0 +1,74 @@
+"""E2 -- Figure 2: DEC 5000/200 receive-side UDP/IP throughput.
+
+Reproduction claims (shape): double-cell DMA > single-cell > single-
+cell-with-eager-invalidation at large messages; peaks near 379 / 340 /
+250 Mbps; throughput collapses for small messages (per-PDU software
+costs dominate); curves flatten past ~16 KB.
+"""
+
+import pytest
+
+from repro.bench import PAPER_FIGURE_2, run_figure2
+
+SIZES = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+@pytest.fixture(scope="module")
+def figure2():
+    return run_figure2(SIZES)
+
+
+def test_figure2_benchmark(benchmark, figure2):
+    result = benchmark.pedantic(lambda: run_figure2((4, 16, 64)),
+                                rounds=1, iterations=1)
+    print()
+    print(figure2.render(PAPER_FIGURE_2))
+    for name, values in figure2.series.items():
+        benchmark.extra_info[name] = [round(v) for v in values]
+
+
+def test_ordering_at_large_messages(figure2):
+    for kb in (16, 32, 64, 128, 256):
+        double = figure2.at("double cell DMA", kb)
+        single = figure2.at("single cell DMA", kb)
+        inval = figure2.at("single cell DMA, cache invalidated", kb)
+        assert double > single > inval, kb
+
+
+def test_peaks_near_paper(figure2):
+    """The paper's stated maxima (379/340/250) sit on the flat part of
+    its curves; our model's 16 KB points land on them, with a mild
+    (<35%) residual rise toward 256 KB as per-message costs amortize
+    (EXPERIMENTS.md, deviation 3)."""
+    assert figure2.at("double cell DMA", 16) == \
+        pytest.approx(379, rel=0.15)
+    assert figure2.at("single cell DMA", 16) == \
+        pytest.approx(340, rel=0.15)
+    assert figure2.at("single cell DMA, cache invalidated", 16) == \
+        pytest.approx(250, rel=0.15)
+    for name in figure2.series:
+        assert figure2.peak(name) < figure2.at(name, 16) * 1.35, name
+
+
+def test_cache_invalidation_costs_at_least_20_percent(figure2):
+    """Figure 2's lesson: pessimistic invalidation takes ~90 Mbps off
+    the single-cell curve."""
+    single = figure2.at("single cell DMA", 16)
+    inval = figure2.at("single cell DMA, cache invalidated", 16)
+    assert inval < single * 0.8
+
+
+def test_small_messages_dominated_by_software(figure2):
+    """At 1 KB the per-PDU costs (~200 us) cap throughput far below
+    the DMA limits."""
+    for name in figure2.series:
+        assert figure2.at(name, 1) < 90
+    assert figure2.at("single cell DMA", 1) < \
+        figure2.at("single cell DMA", 16) / 3
+
+
+def test_curves_flatten_after_16kb(figure2):
+    for name in figure2.series:
+        v16 = figure2.at(name, 16)
+        v256 = figure2.at(name, 256)
+        assert v256 > v16 * 0.9, name

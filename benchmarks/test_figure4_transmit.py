@@ -1,0 +1,62 @@
+"""E4 -- Figure 4: transmit-side UDP/IP throughput.
+
+Reproduction claims (shape): transmit tops out near 325 Mbps on the
+Alpha (single-cell DMA overhead on the TURBOchannel is the limit);
+checksumming barely moves the Alpha transmit curve (sender-resident
+data, spare CPU); the DS5000/200 sits below the Alpha; all three
+curves flatten past ~8-16 KB.
+"""
+
+import pytest
+
+from repro.bench import PAPER_FIGURE_4, run_figure4
+
+SIZES = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+@pytest.fixture(scope="module")
+def figure4():
+    return run_figure4(SIZES)
+
+
+def test_figure4_benchmark(benchmark, figure4):
+    result = benchmark.pedantic(lambda: run_figure4((4, 16, 64)),
+                                rounds=1, iterations=1)
+    print()
+    print(figure4.render(PAPER_FIGURE_4))
+    for name, values in figure4.series.items():
+        benchmark.extra_info[name] = [round(v) for v in values]
+
+
+def test_transmit_ceiling_near_325(figure4):
+    """Paper: 'the maximal throughput achieved on the transmit side is
+    currently 325 Mbps', bounded by single-cell DMA overhead."""
+    peak = figure4.peak("3000/600")
+    assert peak == pytest.approx(325, rel=0.1)
+    assert peak < 367  # never exceeds the bus read ceiling
+
+
+def test_checksum_on_transmit_is_cheap_on_alpha(figure4):
+    """Sender data is cache-resident; the Alpha has CPU to spare."""
+    plain = figure4.peak("3000/600")
+    checksummed = figure4.peak("3000/600, UDP-CS")
+    assert checksummed > plain * 0.9
+
+
+def test_decstation_below_alpha(figure4):
+    for i, kb in enumerate(SIZES):
+        assert figure4.series["5000/200"][i] <= \
+            figure4.series["3000/600"][i] * 1.02, kb
+
+
+def test_transmit_flattens_after_16kb(figure4):
+    for name in figure4.series:
+        v16 = figure4.at(name, 16)
+        v256 = figure4.at(name, 256)
+        assert v256 > v16 * 0.9, name
+
+
+def test_transmit_below_receive_ceilings(figure4):
+    """Transmit (13-cycle reads) is inherently slower than receive
+    (8-cycle writes): 367 vs 463 Mbps bus ceilings."""
+    assert figure4.peak("3000/600") < 400

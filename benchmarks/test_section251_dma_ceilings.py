@@ -1,0 +1,90 @@
+"""E5 -- Section 2.5.1's DMA arithmetic, measured on the simulated bus.
+
+The paper derives 367/463 Mbps (44-byte) and 503/587 Mbps (88-byte)
+ceilings from TURBOchannel cycle counts.  Here we *measure* them by
+streaming transactions through the bus model, and confirm the
+diminishing returns of longer DMA.
+"""
+
+import pytest
+
+from repro.hw import BusSpec, DS5000_200, TurboChannel
+from repro.sim import Simulator, spawn
+
+
+def _stream_mbps(nbytes_per_txn: int, direction: str,
+                 total_bytes: int = 512 * 1024) -> float:
+    sim = Simulator()
+    tc = TurboChannel(sim, BusSpec())
+    txns = total_bytes // nbytes_per_txn
+
+    def stream():
+        for _ in range(txns):
+            if direction == "read":
+                yield from tc.dma_read(nbytes_per_txn)
+            else:
+                yield from tc.dma_write(nbytes_per_txn)
+
+    spawn(sim, stream())
+    sim.run()
+    return txns * nbytes_per_txn * 8.0 / sim.now
+
+
+def test_dma_ceilings_benchmark(benchmark):
+    def run():
+        return {
+            "tx44": _stream_mbps(44, "read"),
+            "rx44": _stream_mbps(44, "write"),
+            "tx88": _stream_mbps(88, "read"),
+            "rx88": _stream_mbps(88, "write"),
+        }
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("Section 2.5.1 DMA ceilings (Mbps):")
+    paper = {"tx44": 367, "rx44": 463, "tx88": 503, "rx88": 587}
+    for key, value in result.items():
+        print(f"  {key}: measured {value:6.1f}  paper {paper[key]}")
+        benchmark.extra_info[key] = round(value, 1)
+
+
+def test_single_cell_transmit_367():
+    assert _stream_mbps(44, "read") == pytest.approx(366.7, abs=1.0)
+
+
+def test_single_cell_receive_463():
+    assert _stream_mbps(44, "write") == pytest.approx(463.2, abs=1.0)
+
+
+def test_double_cell_transmit_503():
+    assert _stream_mbps(88, "read") == pytest.approx(502.9, abs=1.0)
+
+
+def test_double_cell_receive_587():
+    """'more than the payload of an OC-12 channel'"""
+    rate = _stream_mbps(88, "write")
+    assert rate == pytest.approx(586.7, abs=1.0)
+    assert rate > 516
+
+
+def test_diminishing_returns_beyond_double_cell():
+    """Paper: 'the biggest gain is achieved just by going to
+    double-cell DMAs ... with any further increase the returns
+    diminish.'"""
+    r1 = _stream_mbps(44, "write")
+    r2 = _stream_mbps(88, "write")
+    r3 = _stream_mbps(132, "write")
+    r4 = _stream_mbps(176, "write")
+    first_gain = r2 - r1
+    second_gain = r3 - r2
+    third_gain = r4 - r3
+    assert first_gain > 2 * second_gain
+    assert second_gain > third_gain
+
+
+def test_overhead_fraction_42_to_26_percent():
+    bus = DS5000_200.bus
+    single = 1 - 44 / (bus.dma_write_us(44) * bus.peak_mbps / 8)
+    double = 1 - 88 / (bus.dma_write_us(88) * bus.peak_mbps / 8)
+    assert single == pytest.approx(0.42, abs=0.01)
+    assert double == pytest.approx(0.26, abs=0.01)

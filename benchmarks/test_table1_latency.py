@@ -1,0 +1,72 @@
+"""E1 -- Table 1: round-trip latencies on both machines.
+
+Reproduction claim (shape): UDP > raw ATM at every size; the Alpha is
+faster than the DECstation; latency grows monotonically with message
+size; 1-byte values land near the paper's.
+"""
+
+import pytest
+
+from repro.bench import PAPER_TABLE_1, run_table1
+from repro.hw import DEC3000_600, DS5000_200
+
+
+@pytest.fixture(scope="module")
+def table1():
+    return run_table1(rounds=3)
+
+
+def test_table1_benchmark(benchmark, table1):
+    result = benchmark.pedantic(lambda: run_table1(rounds=3),
+                                rounds=1, iterations=1)
+    print()
+    print(result.render())
+    for key, values in result.rows.items():
+        benchmark.extra_info["/".join(key)] = values
+
+
+def test_udp_slower_than_raw_atm(table1):
+    for machine in (DS5000_200, DEC3000_600):
+        atm = table1.row(machine, "atm")
+        udp = table1.row(machine, "udp")
+        for a, u in zip(atm, udp):
+            assert u > a
+
+
+def test_alpha_faster_than_decstation(table1):
+    for protocol in ("atm", "udp"):
+        ds = table1.row(DS5000_200, protocol)
+        alpha = table1.row(DEC3000_600, protocol)
+        for d, a in zip(ds, alpha):
+            assert a < d
+
+
+def test_latency_monotone_in_size(table1):
+    for values in table1.rows.values():
+        assert list(values) == sorted(values)
+
+
+def test_one_byte_latencies_near_paper(table1):
+    for key, values in table1.rows.items():
+        paper = PAPER_TABLE_1[key]
+        assert values[0] == pytest.approx(paper[0], rel=0.25), key
+
+
+def test_udp_processing_delta_matches_paper(table1):
+    """The UDP-over-ATM premium per round trip: ~245 us on the DS,
+    ~162 us on the Alpha (Table 1 row differences)."""
+    ds_delta = (table1.row(DS5000_200, "udp")[0]
+                - table1.row(DS5000_200, "atm")[0])
+    alpha_delta = (table1.row(DEC3000_600, "udp")[0]
+                   - table1.row(DEC3000_600, "atm")[0])
+    assert ds_delta == pytest.approx(245, rel=0.3)
+    assert alpha_delta == pytest.approx(162, rel=0.3)
+    assert alpha_delta < ds_delta
+
+
+def test_comparable_to_ethernet_for_short_messages(table1):
+    """Paper: 1-byte latencies are comparable to (a bit better than)
+    the machines' Ethernet adaptors -- i.e., a few hundred us, not
+    milliseconds: the complex adaptor did not hurt short messages."""
+    assert table1.row(DS5000_200, "atm")[0] < 500
+    assert table1.row(DEC3000_600, "atm")[0] < 250

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Fbufs: moving network data across protection domains without copies.
+
+A microkernel data path may cross several protection domains (driver,
+protocol server, application).  This demo pushes a stream of 16 KB
+buffers through a two-domain path three ways -- per-domain copying,
+uncached fbufs (page remapping per transfer), and cached fbufs (the
+mappings persist for the path) -- and shows why early demultiplexing
+on the adaptor matters: it lets the driver pick an already-cached fbuf
+for the incoming VCI *before* the data lands.
+
+Run:  python examples/fbuf_pipeline.py
+"""
+
+from repro import DS5000_200
+from repro.baselines import compare_cross_domain
+from repro.fbufs import FbufAllocator
+from repro.hw import DataCache, HostCPU, MemorySystem, PhysicalMemory, \
+    TurboChannel
+from repro.host import HostOS
+from repro.sim import Simulator, spawn
+
+
+def mechanics_demo() -> None:
+    """The allocator's cache in slow motion."""
+    sim = Simulator()
+    memory = PhysicalMemory(16 * 1024 * 1024, 4096,
+                            reserved_bytes=2 * 1024 * 1024)
+    cache = DataCache(DS5000_200.cache, memory)
+    tc = TurboChannel(sim, DS5000_200.bus)
+    cpu = HostCPU(sim, DS5000_200, MemorySystem(sim, DS5000_200, tc))
+    kernel = HostOS(sim, cpu, cache, memory)
+
+    allocator = FbufAllocator(kernel, cached_paths=16)
+    server = kernel.create_domain("protocol-server")
+    app = kernel.create_domain("application")
+    allocator.register_path(path_id=1, domains=[server, app])
+
+    log = []
+
+    def rig():
+        for round_ in range(3):
+            fbuf, cached = allocator.allocate(1, npages=4)
+            start = sim.now
+            yield from allocator.traverse_path(fbuf, 1)
+            log.append((round_, cached, sim.now - start))
+            allocator.release(fbuf, 1)
+
+    spawn(sim, rig(), "rig")
+    sim.run()
+    print("One 16 KB buffer through driver -> server -> application:")
+    for round_, cached, us in log:
+        kind = "cached fbuf  " if cached else "uncached fbuf"
+        print(f"  round {round_}: {kind} {us:7.1f} us")
+    print("  (the first transfer pays the page mappings; later ones "
+          "reuse them)\n")
+
+
+def throughput_demo() -> None:
+    print("Sustained cross-domain throughput, 16 KB buffers "
+          "(DECstation 5000/200):")
+    print(f"  {'domains':>7} {'cached fbuf':>12} {'uncached':>10} "
+          f"{'copying':>9}")
+    for domains in (1, 2, 3):
+        r = compare_cross_domain(DS5000_200, 16 * 1024,
+                                 n_domains=domains, n_buffers=40)
+        print(f"  {domains:>7} {r.cached_fbuf_mbps:>10.0f} M "
+              f"{r.uncached_fbuf_mbps:>8.0f} M {r.copy_mbps:>7.0f} M")
+    print("\n'Being able to use a cached fbuf ... can mean an order of "
+          "magnitude\n difference in how fast the data can be "
+          "transferred across a domain\n boundary.'  -- section 3.1")
+
+
+if __name__ == "__main__":
+    mechanics_demo()
+    throughput_demo()

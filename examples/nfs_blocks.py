@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""An NFS-style block service over the OSIRIS stack.
+
+Section 2.5.2 motivates the page-boundary DMA modification with
+'network file system (NFS) traffic', whose PDUs are multiples of the
+page size and whose consumers 'expect to see full pages'.  This demo
+runs exactly that workload: an RPC block server on one host serving
+8 KB page-aligned blocks to a client on the other, over the striped
+622 Mbps link.
+
+It reports the block-read latency and throughput, and verifies the
+property the paper worried about: every block arrives as full,
+byte-exact pages.
+
+Run:  python examples/nfs_blocks.py
+"""
+
+from repro import BackToBack, DS5000_200
+from repro.sim import spawn
+from repro.xkernel.protocols.rpc import RpcClient, RpcProtocol, RpcServer
+
+PAGE = DS5000_200.page_size
+BLOCK = 2 * PAGE          # 8 KB NFS blocks
+FILE_BLOCKS = 16          # a 128 KB "file"
+PROC_READ = 1
+
+
+def main() -> None:
+    net = BackToBack(DS5000_200)
+
+    # --- server on host B ---------------------------------------------------
+    drv_b = net.b.driver.open_path(vci=800)
+    server = RpcServer(RpcProtocol(net.b.cpu, net.b.sim), drv_b)
+    file_blocks = {
+        k: bytes([0x20 + k]) * BLOCK for k in range(FILE_BLOCKS)
+    }
+    server.register(PROC_READ,
+                    lambda req: file_blocks[req[0]],
+                    service_us=180.0)  # disk-cache hit + VFS work
+
+    # --- client on host A ----------------------------------------------------
+    drv_a = net.a.driver.open_path(vci=800)
+    client = RpcClient(RpcProtocol(net.a.cpu, net.a.sim), drv_a)
+
+    results = {"blocks": {}, "latencies": []}
+
+    def reader():
+        start = net.sim.now
+        for k in range(FILE_BLOCKS):
+            t0 = net.sim.now
+            block = yield from client.call(PROC_READ, bytes([k]))
+            results["latencies"].append(net.sim.now - t0)
+            results["blocks"][k] = block
+        results["elapsed"] = net.sim.now - start
+
+    spawn(net.sim, reader(), "nfs-client")
+    net.sim.run()
+
+    # --- verify the 'full pages' property ------------------------------------
+    for k in range(FILE_BLOCKS):
+        block = results["blocks"][k]
+        assert len(block) == BLOCK, "partial block!"
+        assert block == file_blocks[k], "corrupted block!"
+
+    lat = results["latencies"]
+    total_bytes = FILE_BLOCKS * BLOCK
+    mbps = total_bytes * 8.0 / results["elapsed"]
+    print(f"Read a {total_bytes // 1024} KB file as {FILE_BLOCKS} x "
+          f"{BLOCK // 1024} KB page-aligned blocks over OSIRIS:")
+    print(f"  block-read latency : min {min(lat):6.1f}  median "
+          f"{sorted(lat)[len(lat) // 2]:6.1f}  max {max(lat):6.1f} us")
+    print(f"  serial throughput  : {mbps:6.1f} Mbps "
+          f"(one outstanding read at a time)")
+    print(f"  every block arrived as full pages: yes")
+    print()
+    print("The page-boundary DMA rule (section 2.5.2) is what keeps "
+          "these\nblocks intact: a DMA burst never crosses a page, so "
+          "page-multiple\nPDUs fill pages exactly rather than leaking "
+          "into their neighbours.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper in one run.
+
+Produces Table 1 and Figures 2-4 side by side with the paper's
+numbers.  Expect a couple of minutes of wall time; pass ``--quick``
+for a coarse (but much faster) sweep.
+
+Run:  python examples/reproduce_paper.py [--quick]
+"""
+
+import sys
+import time
+
+from repro.bench import (
+    PAPER_FIGURE_2, PAPER_FIGURE_3, PAPER_FIGURE_4, run_figure2,
+    run_figure3, run_figure4, run_table1,
+)
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    sizes = (1, 4, 16, 64, 256) if quick else \
+        (1, 2, 4, 8, 16, 32, 64, 128, 256)
+    rounds = 3 if quick else 5
+
+    start = time.time()
+    print("=" * 72)
+    table1 = run_table1(rounds=rounds)
+    print(table1.render())
+
+    for runner, paper in ((run_figure2, PAPER_FIGURE_2),
+                          (run_figure3, PAPER_FIGURE_3),
+                          (run_figure4, PAPER_FIGURE_4)):
+        print()
+        print("=" * 72)
+        figure = runner(sizes)
+        print(figure.render(paper))
+
+    print()
+    print("=" * 72)
+    print(f"total wall time: {time.time() - start:.0f} s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Cell striping, skew, and the two reassembly strategies.
+
+OSIRIS reaches 622 Mbps by striping cells over four 155 Mbps links.
+Links can delay cells relative to each other ("skew"); cells on one
+link stay ordered.  This demo shows, per section 2.6 of the paper:
+
+* plain in-order AAL5 reassembly corrupts PDUs under skew -- but the
+  CRC catches it (no silent corruption);
+* strategy 1 (per-cell sequence numbers) and strategy 2 (four
+  concurrent per-link reassemblies + an extra framing bit) both
+  survive skew;
+* skew destroys the double-cell DMA combining opportunity.
+
+Run:  python examples/skew_reassembly.py
+"""
+
+from repro import DS5000_200
+from repro.atm import SegmentMode, SkewModel, StripedLink, decode_pdu
+from repro.hw import DataCache, PhysicalMemory, TurboChannel
+from repro.hw.dma import DmaMode
+from repro.osiris import (
+    Descriptor, FLAG_END_OF_PDU, OsirisBoard, RxProcessor, TxProcessor,
+)
+from repro.sim import Delay, Fidelity, Simulator, spawn
+
+
+def build_pair(mode, skew, rx_dma_mode=DmaMode.SINGLE_CELL):
+    sim = Simulator()
+    fidelity = Fidelity.full()
+    rigs = []
+    for side in range(2):
+        memory = PhysicalMemory(8 * 1024 * 1024, DS5000_200.page_size,
+                                fidelity=fidelity,
+                                reserved_bytes=4 * 1024 * 1024)
+        cache = DataCache(DS5000_200.cache, memory, fidelity)
+        tc = TurboChannel(sim, DS5000_200.bus, name=f"tc{side}")
+        rigs.append((memory, OsirisBoard(
+            sim, DS5000_200, tc, memory, cache, fidelity=fidelity,
+            rx_dma_mode=rx_dma_mode)))
+    (tx_mem, tx_board), (rx_mem, rx_board) = rigs
+    link = StripedLink(sim, rx_board.deliver_cell, skew=skew)
+    TxProcessor(sim, tx_board, link=link, segment_mode=mode)
+    rxp = RxProcessor(sim, rx_board, reassembly_mode=mode)
+    rx_board.bind_vci(5, 0)
+    size = rx_board.spec.recv_buffer_bytes
+    for _ in range(8):
+        addr = rx_mem.alloc_contiguous(size)
+        rx_board.kernel_channel.free_queue.push(
+            Descriptor(addr=addr, length=size, vci=0))
+    return sim, tx_mem, tx_board, rx_mem, rx_board, rxp
+
+
+def transfer(mode, skew, pdus, rx_dma_mode=DmaMode.SINGLE_CELL):
+    sim, tx_mem, tx_board, rx_mem, rx_board, rxp = build_pair(
+        mode, skew, rx_dma_mode)
+
+    def sender():
+        for data in pdus:
+            addr = tx_mem.alloc_contiguous(len(data))
+            tx_mem.write(addr, data)
+            tx_board.kernel_channel.tx_queue.push(Descriptor(
+                addr=addr, length=len(data),
+                flags=FLAG_END_OF_PDU, vci=5))
+            yield Delay(800.0)
+
+    spawn(sim, sender(), "sender")
+    sim.run()
+    received = []
+    current = bytearray()
+    while True:
+        desc = rx_board.kernel_channel.recv_queue.pop(by_host=True)
+        if desc is None:
+            break
+        current += rx_mem.read(desc.addr, desc.length)
+        if desc.end_of_pdu:
+            try:
+                received.append(decode_pdu(bytes(current)))
+            except Exception:
+                received.append(None)
+            current = bytearray()
+    return received, rxp
+
+
+def main() -> None:
+    pdus = [bytes([65 + k]) * 3000 for k in range(3)]
+    skew = SkewModel.severe(offset_step_us=5.0, jitter_us=12.0, seed=7)
+
+    print("Three 3 KB PDUs over four striped links with severe skew\n")
+
+    got, rxp = transfer(SegmentMode.IN_ORDER, skew, pdus)
+    ok = sum(1 for g in got if g in pdus)
+    print(f"in-order AAL5   : {ok}/{len(pdus)} PDUs survive, "
+          f"{rxp.pdus_errored} CRC/length errors "
+          f"(misordering detected, never silent)")
+
+    got, rxp = transfer(SegmentMode.SEQUENCE, skew, pdus)
+    print(f"strategy 1 (seq): {sum(1 for g in got if g in pdus)}"
+          f"/{len(pdus)} PDUs survive, {rxp.pdus_errored} errors")
+
+    got, rxp = transfer(SegmentMode.CONCURRENT, skew, pdus)
+    print(f"strategy 2 (4x) : {sum(1 for g in got if g in pdus)}"
+          f"/{len(pdus)} PDUs survive, {rxp.pdus_errored} errors")
+
+    print("\nDouble-cell DMA combining (section 2.5.1 vs 2.6):")
+    for label, model in (("no skew", SkewModel.none()),
+                         ("severe skew", skew)):
+        got, rxp = transfer(SegmentMode.SEQUENCE, model, pdus,
+                            rx_dma_mode=DmaMode.DOUBLE_CELL)
+        total = rxp.combined_dmas + rxp.single_dmas
+        rate = rxp.combined_dmas / max(total, 1)
+        print(f"  {label:12}: {rate:5.1%} of payload pairs combined "
+              f"into 88-byte DMAs")
+    print("\n'Once skew is introduced, the probability that two "
+          "successive cells\n will be received in order is greatly "
+          "reduced.'  -- section 2.6")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Application device channels: user-space direct adaptor access."""
+
+from .channel import AdcGrant, AdcManager
+from .channel_driver import (
+    AccessViolation, AdcChannelDriver, AdcProtocol, AdcSession,
+)
+from .protection import authorized_page_count, can_access, grants_overlap
+
+__all__ = [
+    "AdcManager", "AdcGrant",
+    "AdcChannelDriver", "AdcSession", "AdcProtocol", "AccessViolation",
+    "authorized_page_count", "grants_overlap", "can_access",
+]

@@ -1,0 +1,39 @@
+"""ADC protection analysis helpers.
+
+The memory-access policing itself lives on the board
+(:meth:`repro.osiris.board.Channel.page_authorized`, checked by the
+transmit processor) and in the kernel's violation dispatch
+(:meth:`repro.driver.osiris_driver.OsirisDriver.register_violation_handler`).
+This module adds small utilities for reasoning about grants, used by
+tests and the ADC example.
+"""
+
+from __future__ import annotations
+
+from ..osiris.board import Channel
+from .channel import AdcGrant
+
+
+def authorized_page_count(grant: AdcGrant) -> int:
+    """Number of physical pages the application may DMA to/from."""
+    channel = grant.channel
+    if channel.allowed_pages is None:
+        return -1  # unrestricted (never the case for a real ADC)
+    return len(channel.allowed_pages)
+
+
+def grants_overlap(a: AdcGrant, b: AdcGrant) -> bool:
+    """True when two ADCs share any authorized physical page --
+    which would let one application corrupt another's buffers."""
+    pages_a = a.channel.allowed_pages or set()
+    pages_b = b.channel.allowed_pages or set()
+    return bool(pages_a & pages_b)
+
+
+def can_access(channel: Channel, addr: int, length: int,
+               page_size: int) -> bool:
+    """Would the board accept this buffer address from this channel?"""
+    return channel.page_authorized(addr, length, page_size)
+
+
+__all__ = ["authorized_page_count", "grants_overlap", "can_access"]

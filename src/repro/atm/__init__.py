@@ -1,0 +1,22 @@
+"""ATM substrate: cells, AAL5 framing, SAR algorithms, links, striping."""
+
+from .aal5 import (
+    Aal5Error, BadCrc, BadLength, Reassembler, SegmentMode, TRAILER_BYTES,
+    cell_count, decode_pdu, encode_pdu, framed_size, segment,
+)
+from .cell import Cell
+from .crc import crc32, internet_checksum, verify_internet_checksum
+from .link import CellPipe, OC3_MBPS
+from .sar import ConcurrentReassembler, SequenceNumberReassembler, SkewOverflow
+from .striping import SkewModel, StripedLink
+from .switch import CellSwitch
+
+__all__ = [
+    "Cell",
+    "crc32", "internet_checksum", "verify_internet_checksum",
+    "Aal5Error", "BadCrc", "BadLength", "SegmentMode", "Reassembler",
+    "encode_pdu", "decode_pdu", "segment", "framed_size", "cell_count",
+    "TRAILER_BYTES",
+    "SequenceNumberReassembler", "ConcurrentReassembler", "SkewOverflow",
+    "CellPipe", "OC3_MBPS", "SkewModel", "StripedLink", "CellSwitch",
+]

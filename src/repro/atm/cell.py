@@ -1,0 +1,65 @@
+"""ATM cells as they appear to the OSIRIS board.
+
+The board strips the ATM and AAL headers in hardware and presents the
+receive processor with (VCI, AAL info) pairs read from a FIFO (paper,
+section 1).  We therefore model a cell as the information content that
+survives that stripping:
+
+* ``vci`` -- the virtual circuit identifier, the demultiplexing key.
+* ``payload`` -- the 44-byte AAL payload (48-byte ATM payload minus
+  AAL overhead, per the paper).
+* ``eom`` -- the AAL5-style framing bit marking the last cell of a PDU.
+* ``seq`` -- an optional per-cell sequence number carried in the AAL
+  header; only used by the sequence-number skew strategy of
+  section 2.6 (it is non-standard, as the paper notes).
+* ``atm_last`` -- the optional extra framing bit in the ATM header
+  that marks the very last cell of a PDU, proposed for the concurrent
+  reassembly strategy when a PDU is shorter than the stripe width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..hw.specs import AAL_PAYLOAD_BYTES, ATM_CELL_BYTES
+
+
+@dataclass
+class Cell:
+    """One ATM cell after header stripping."""
+
+    vci: int
+    payload: bytes
+    eom: bool = False
+    seq: Optional[int] = None
+    atm_last: bool = False
+
+    # Bookkeeping stamped by the transmission path (not protocol data).
+    link_id: int = field(default=-1, compare=False)
+    tx_index: int = field(default=-1, compare=False)
+
+    def __post_init__(self) -> None:
+        if len(self.payload) > AAL_PAYLOAD_BYTES:
+            raise ValueError(
+                f"cell payload {len(self.payload)} exceeds "
+                f"{AAL_PAYLOAD_BYTES} bytes")
+        if self.vci < 0 or self.vci > 0xFFFF:
+            raise ValueError(f"VCI {self.vci} out of range")
+
+    @property
+    def wire_bytes(self) -> int:
+        """Bytes occupied on the wire (full 53-byte cell)."""
+        return ATM_CELL_BYTES
+
+    def __repr__(self) -> str:
+        flags = "".join([
+            "E" if self.eom else "",
+            "L" if self.atm_last else "",
+        ])
+        seq = f" seq={self.seq}" if self.seq is not None else ""
+        return (f"Cell(vci={self.vci}, {len(self.payload)}B"
+                f"{seq} {flags} link={self.link_id})")
+
+
+__all__ = ["Cell"]

@@ -1,0 +1,71 @@
+"""Physical link models.
+
+A :class:`CellPipe` is one 155 Mbps channel: cells serialize at line
+rate, experience a propagation delay plus a per-cell queueing delay
+supplied by a skew model, and are delivered *in order* (delays are
+clamped so a cell never overtakes its predecessor on the same link --
+precisely the paper's definition of skew-class misordering).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from ..hw.specs import ATM_CELL_BYTES
+from ..sim import Simulator, Store, spawn
+from .cell import Cell
+
+DeliverFn = Callable[[Cell], None]
+
+OC3_MBPS = 155.52
+
+
+class CellPipe:
+    """One point-to-point physical channel carrying ATM cells."""
+
+    def __init__(self, sim: Simulator, link_id: int,
+                 deliver: DeliverFn,
+                 rate_mbps: float = OC3_MBPS,
+                 prop_delay_us: float = 5.0,
+                 queueing_delay: Optional[Callable[[], float]] = None,
+                 name: str = ""):
+        self.sim = sim
+        self.link_id = link_id
+        self.deliver = deliver
+        self.rate_mbps = rate_mbps
+        self.prop_delay_us = prop_delay_us
+        self.queueing_delay = queueing_delay
+        self.name = name or f"link{link_id}"
+        self.cell_time_us = ATM_CELL_BYTES * 8.0 / rate_mbps
+        self.cells_carried = 0
+        self.max_queue = 0
+        self._queue: Store = Store(sim, f"{self.name}.q")
+        self._last_arrival = 0.0
+        spawn(sim, self._pump(), f"{self.name}.pump")
+
+    def submit(self, cell: Cell) -> None:
+        """Hand a cell to the link (never blocks; the pipe queues)."""
+        cell.link_id = self.link_id
+        self._queue.try_put(cell)
+        self.max_queue = max(self.max_queue, len(self._queue))
+
+    def _pump(self) -> Generator[Any, Any, None]:
+        from ..sim import Delay
+        while True:
+            cell = yield self._queue.get()
+            yield Delay(self.cell_time_us)  # serialization at line rate
+            extra = self.queueing_delay() if self.queueing_delay else 0.0
+            arrival = self.sim.now + self.prop_delay_us + max(0.0, extra)
+            # Clamp: cells on one physical link stay in order.
+            arrival = max(arrival, self._last_arrival)
+            self._last_arrival = arrival
+            self.cells_carried += 1
+            self.sim.call_at(arrival, self._make_delivery(cell))
+
+    def _make_delivery(self, cell: Cell) -> Callable[[], None]:
+        def fire() -> None:
+            self.deliver(cell)
+        return fire
+
+
+__all__ = ["CellPipe", "OC3_MBPS"]

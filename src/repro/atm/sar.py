@@ -1,0 +1,199 @@
+"""Skew-tolerant reassembly algorithms (paper, section 2.6).
+
+Striping cells over four physical links introduces *skew*: cells on
+one link stay ordered relative to each other but may be delayed
+relative to cells on other links.  The paper identifies two coping
+strategies; both are implemented here as pure algorithms (the timed
+versions inside the receive processor delegate to these).
+
+Strategy 1 -- :class:`SequenceNumberReassembler`: every cell carries a
+sequence number in its AAL header; the number determines where the
+payload lands.  Drawback: the sequence space must bound the skew.
+
+Strategy 2 -- :class:`ConcurrentReassembler`: treat the PDU as
+``stripe_width`` interleaved sub-packets, run an AAL5 reassembly per
+link, and declare the PDU complete when every sub-packet has seen its
+framing bit.  PDUs shorter than the stripe width are resolved with the
+extra ATM-header framing bit on the very last cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..hw.specs import AAL_PAYLOAD_BYTES, STRIPE_LINKS
+from .aal5 import Aal5Error, decode_pdu
+from .cell import Cell
+
+
+class SkewOverflow(Aal5Error):
+    """Sequence-number window exceeded -- unbounded switch skew.
+
+    The paper's first objection to strategy 1: skew from switch
+    queueing is essentially unbounded, so no sequence space is
+    guaranteed to be large enough.
+    """
+
+
+class SequenceNumberReassembler:
+    """Strategy 1: place each cell by its AAL sequence number.
+
+    Sequence numbers are continuous per VCI across PDUs (they locate
+    the cell in the reassembly buffer); the framing bit still marks PDU
+    boundaries.  ``window`` bounds how far ahead of the oldest missing
+    cell a sequence number may run.
+    """
+
+    def __init__(self, vci: int, window: int = 1024):
+        self.vci = vci
+        self.window = window
+        self._cells: dict[int, bytes] = {}
+        self._eoms: set[int] = set()
+        self._start = 0  # seq of the first cell of the oldest open PDU
+        self.pdus_completed = 0
+        self.max_skew_seen = 0
+
+    @property
+    def cells_pending(self) -> int:
+        return len(self._cells)
+
+    @property
+    def next_seq(self) -> int:
+        """Sequence number the next PDU will start at."""
+        return self._start
+
+    def push(self, cell: Cell) -> list[bytes]:
+        if cell.seq is None:
+            raise Aal5Error("strategy-1 cell lacks a sequence number")
+        if cell.seq < self._start:
+            raise Aal5Error(f"stale sequence number {cell.seq}")
+        if cell.seq - self._start >= self.window:
+            raise SkewOverflow(
+                f"seq {cell.seq} outruns window [{self._start}, "
+                f"{self._start + self.window})")
+        self.max_skew_seen = max(self.max_skew_seen, cell.seq - self._start)
+        self._cells[cell.seq] = cell.payload
+        if cell.eom:
+            self._eoms.add(cell.seq)
+        return self._drain()
+
+    def _drain(self) -> list[bytes]:
+        done = []
+        while self._eoms:
+            end = min(self._eoms)
+            needed = range(self._start, end + 1)
+            if not all(seq in self._cells for seq in needed):
+                break
+            framed = b"".join(self._cells.pop(seq) for seq in needed)
+            self._eoms.discard(end)
+            self._start = end + 1
+            done.append(decode_pdu(framed))
+            self.pdus_completed += 1
+        return done
+
+
+@dataclass
+class _SubPacket:
+    """One link's share of a PDU (an AAL5 'packet' of strategy 2)."""
+
+    payloads: list[bytes] = field(default_factory=list)
+    complete: bool = False
+    atm_last: bool = False
+
+    @property
+    def cell_count(self) -> int:
+        return len(self.payloads)
+
+
+class ConcurrentReassembler:
+    """Strategy 2: one AAL5 reassembly per physical link.
+
+    Cells must be pushed with the link they arrived on; per-link
+    arrival order is the only ordering assumption (exactly the "skew"
+    class of misordering).
+    """
+
+    def __init__(self, vci: int, stripe_width: int = STRIPE_LINKS):
+        self.vci = vci
+        self.stripe_width = stripe_width
+        # Per link: completed sub-packets in order, plus one accumulating.
+        self._done: list[list[_SubPacket]] = \
+            [[] for _ in range(stripe_width)]
+        self._open: list[Optional[_SubPacket]] = [None] * stripe_width
+        self.pdus_completed = 0
+
+    @property
+    def cells_pending(self) -> int:
+        pending = 0
+        for queue in self._done:
+            pending += sum(sub.cell_count for sub in queue)
+        for sub in self._open:
+            if sub is not None:
+                pending += sub.cell_count
+        return pending
+
+    def push(self, cell: Cell, link_id: int) -> list[bytes]:
+        if not 0 <= link_id < self.stripe_width:
+            raise Aal5Error(f"link {link_id} outside stripe")
+        sub = self._open[link_id]
+        if sub is None:
+            sub = _SubPacket()
+            self._open[link_id] = sub
+        sub.payloads.append(cell.payload)
+        if cell.atm_last:
+            sub.atm_last = True
+        if cell.eom:
+            sub.complete = True
+            self._done[link_id].append(sub)
+            self._open[link_id] = None
+        return self._drain()
+
+    def _head(self, link_id: int) -> Optional[_SubPacket]:
+        queue = self._done[link_id]
+        return queue[0] if queue else None
+
+    def _drain(self) -> list[bytes]:
+        done = []
+        while True:
+            pdu = self._try_assemble_head()
+            if pdu is None:
+                break
+            done.append(pdu)
+        return done
+
+    def _try_assemble_head(self) -> Optional[bytes]:
+        # The head PDU's very last cell carries atm_last; once the cell
+        # has arrived it sits in a head sub-packet.  Its link position
+        # reveals the PDU's total cell count (paper's extra framing
+        # bit resolves PDUs shorter than the stripe).
+        expected = None
+        for link_id in range(self.stripe_width):
+            head = self._head(link_id)
+            if head is not None and head.atm_last:
+                n = (head.cell_count - 1) * self.stripe_width + link_id + 1
+                expected = min(n, self.stripe_width)
+                break
+        if expected is None:
+            return None
+        heads = []
+        for link_id in range(expected):
+            head = self._head(link_id)
+            if head is None:
+                return None
+            heads.append(head)
+        for link_id in range(expected):
+            self._done[link_id].pop(0)
+        total = sum(head.cell_count for head in heads)
+        framed = bytearray()
+        for index in range(total):
+            framed += heads[index % expected].payloads[index // expected]
+        if len(framed) != total * AAL_PAYLOAD_BYTES:
+            raise Aal5Error("interleave size mismatch")
+        self.pdus_completed += 1
+        return decode_pdu(bytes(framed))
+
+
+__all__ = [
+    "SequenceNumberReassembler", "ConcurrentReassembler", "SkewOverflow",
+]

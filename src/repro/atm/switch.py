@@ -1,0 +1,150 @@
+"""An output-queued ATM cell switch.
+
+Section 2.6 names three causes of striping skew; the third is
+'different queuing delays experienced by cells on different links as
+they pass through distinct ports on the switches in the network' --
+and the paper notes it could only be eliminated by coordinating the
+ports, 'negating the advantage of striping'.  This switch model makes
+that cause real: each striped link's lane terminates in its own output
+port with its own queue, so cross traffic on one port delays exactly
+one lane.
+
+The switch routes by VCI: the routing table maps an input VCI to
+(output trunk, output VCI).  A *trunk* is a group of ``n_lanes``
+output ports feeding one striped link, so striped traffic keeps its
+lane (cell ``tx_index mod n`` stays on lane ``n``) while competing
+with whatever else shares that port.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Optional
+
+from ..hw.specs import ATM_CELL_BYTES, STRIPE_LINKS
+from ..sim import Delay, SimulationError, Simulator, Store, spawn
+from .cell import Cell
+from .link import OC3_MBPS
+
+DeliverFn = Callable[[Cell], None]
+
+
+@dataclass
+class _OutputPort:
+    """One output port: a FIFO of cells draining at line rate."""
+
+    queue: Store
+    cells_forwarded: int = 0
+    max_queue_seen: int = 0
+
+
+class CellSwitch:
+    """VCI-routed, output-queued cell switch with per-lane ports."""
+
+    def __init__(self, sim: Simulator, name: str = "switch",
+                 port_rate_mbps: float = OC3_MBPS,
+                 switching_delay_us: float = 1.0,
+                 port_queue_cells: int = 256):
+        self.sim = sim
+        self.name = name
+        self.port_rate_mbps = port_rate_mbps
+        self.switching_delay_us = switching_delay_us
+        self.port_queue_cells = port_queue_cells
+        self.cell_time_us = ATM_CELL_BYTES * 8.0 / port_rate_mbps
+        # trunk id -> list of output ports (one per lane).
+        self._trunks: dict[int, list[_OutputPort]] = {}
+        self._trunk_deliver: dict[int, DeliverFn] = {}
+        # input VCI -> (trunk id, output VCI).
+        self._routes: dict[int, tuple[int, int]] = {}
+        self.cells_switched = 0
+        self.cells_dropped = 0
+
+    # -- fabric configuration --------------------------------------------------
+
+    def add_trunk(self, trunk_id: int, deliver: DeliverFn,
+                  n_lanes: int = STRIPE_LINKS) -> None:
+        """Attach an output trunk whose lanes feed ``deliver``.
+
+        ``deliver`` receives cells in per-lane order (each lane is its
+        own FIFO); cross-lane order is whatever port queueing produces
+        -- the skew the receiving board must tolerate.
+        """
+        if trunk_id in self._trunks:
+            raise SimulationError(f"trunk {trunk_id} exists")
+        ports = []
+        for lane in range(n_lanes):
+            port = _OutputPort(queue=Store(
+                self.sim, f"{self.name}.t{trunk_id}.l{lane}",
+                capacity=self.port_queue_cells))
+            ports.append(port)
+            spawn(self.sim, self._drain(port, trunk_id),
+                  f"{self.name}-t{trunk_id}-l{lane}")
+        self._trunks[trunk_id] = ports
+        self._trunk_deliver[trunk_id] = deliver
+
+    def add_route(self, in_vci: int, trunk_id: int,
+                  out_vci: Optional[int] = None) -> None:
+        """Route ``in_vci`` to ``trunk_id``, rewriting to ``out_vci``."""
+        if in_vci in self._routes:
+            raise SimulationError(f"VCI {in_vci} already routed")
+        if trunk_id not in self._trunks:
+            raise SimulationError(f"unknown trunk {trunk_id}")
+        self._routes[in_vci] = (trunk_id, out_vci if out_vci is not None
+                                else in_vci)
+
+    # -- data path -----------------------------------------------------------------
+
+    def input_cell(self, cell: Cell) -> None:
+        """An arriving cell: route, rewrite, queue on its lane's port."""
+        route = self._routes.get(cell.vci)
+        if route is None:
+            self.cells_dropped += 1
+            return
+        trunk_id, out_vci = route
+        ports = self._trunks[trunk_id]
+        lane = (cell.tx_index % len(ports) if cell.tx_index >= 0
+                else cell.link_id % len(ports))
+        rewritten = Cell(vci=out_vci, payload=cell.payload,
+                         eom=cell.eom, seq=cell.seq,
+                         atm_last=cell.atm_last, tx_index=cell.tx_index)
+        rewritten.link_id = lane
+        port = ports[lane]
+        if not port.queue.try_put(rewritten):
+            self.cells_dropped += 1
+            return
+        port.max_queue_seen = max(port.max_queue_seen, len(port.queue))
+        self.cells_switched += 1
+
+    def _drain(self, port: _OutputPort,
+               trunk_id: int) -> Generator[Any, Any, None]:
+        while True:
+            cell = yield port.queue.get()
+            yield Delay(self.switching_delay_us + self.cell_time_us)
+            port.cells_forwarded += 1
+            self._trunk_deliver[trunk_id](cell)
+
+    # -- background load (the cross traffic that causes cause-3 skew) --------------
+
+    def inject_cross_traffic(self, trunk_id: int, lane: int,
+                             rate_mbps: float, vci: int = 0xFFF0,
+                             duration_us: float = float("inf")) -> None:
+        """A competing flow occupying one lane's output port."""
+        ports = self._trunks[trunk_id]
+        port = ports[lane]
+        interval = ATM_CELL_BYTES * 8.0 / rate_mbps
+        stop_at = self.sim.now + duration_us
+
+        def pump() -> Generator[Any, Any, None]:
+            while self.sim.now < stop_at:
+                filler = Cell(vci=vci, payload=b"")
+                filler.link_id = lane
+                port.queue.try_put(filler)
+                yield Delay(interval)
+
+        spawn(self.sim, pump(), f"cross-t{trunk_id}-l{lane}")
+
+    def port_depths(self, trunk_id: int) -> list[int]:
+        return [len(p.queue) for p in self._trunks[trunk_id]]
+
+
+__all__ = ["CellSwitch"]

@@ -1,0 +1,21 @@
+"""Baselines the paper compares against (implicitly or explicitly)."""
+
+from .copy_path import CrossDomainResult, compare_cross_domain
+from .ethernet import (
+    ETHERNET_MBPS, EthernetCosts, frame_count, one_way_us, round_trip,
+    wire_time_us,
+)
+from .locked_queue import LockedDescriptorQueue
+from .per_pdu_interrupts import (
+    InterruptDisciplineResult, run_interrupt_discipline,
+)
+from .pio import AccessResult, dma_receive, pio_receive
+
+__all__ = [
+    "LockedDescriptorQueue",
+    "pio_receive", "dma_receive", "AccessResult",
+    "run_interrupt_discipline", "InterruptDisciplineResult",
+    "compare_cross_domain", "CrossDomainResult",
+    "EthernetCosts", "round_trip", "one_way_us", "wire_time_us",
+    "frame_count", "ETHERNET_MBPS",
+]

@@ -1,0 +1,79 @@
+"""Baseline: spin-lock-protected shared queue (paper, section 2.1.1).
+
+The hardware's intended discipline: acquire the test-and-set register
+before touching shared dual-port structures.  Arbitrarily complex
+structures become possible, but host and board serialize, and every
+failed acquisition burns a bus word-read.  The paper's lock-free
+queues avoid both costs; the E7 ablation quantifies the difference.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from ..hw.bus import TurboChannel
+from ..hw.memory import DualPortMemory
+from ..osiris.descriptors import Descriptor
+from ..osiris.locks import SpinLock
+from ..osiris.queues import DescriptorQueue
+from ..sim import Delay, Simulator
+
+
+class LockedDescriptorQueue:
+    """A descriptor FIFO guarded by the test-and-set spin-lock.
+
+    Operations are timed generators; the host side additionally pays
+    PIO for every word it touches (just like the lock-free queue), plus
+    the lock acquire/release traffic and any spin time.
+    """
+
+    def __init__(self, sim: Simulator, tc: TurboChannel,
+                 dualport: DualPortMemory, base: int, size: int,
+                 host_is_writer: bool, name: str = "locked",
+                 hold_overhead_us: float = 0.3):
+        self.sim = sim
+        self.tc = tc
+        self.lock = SpinLock(sim, tc, name=f"{name}.lock")
+        self.inner = DescriptorQueue(dualport, base, size,
+                                     host_is_writer, name=name)
+        # Extra bookkeeping the locked design needs inside the critical
+        # section (the lock-free queue's single-writer invariants make
+        # it unnecessary there).
+        self.hold_overhead_us = hold_overhead_us
+
+    def _charge(self, by_host: bool) -> Generator[Any, Any, None]:
+        counter = (self.inner.host_access if by_host
+                   else self.inner.board_access)
+        reads, writes = counter.reset()
+        if by_host:
+            if reads:
+                yield from self.tc.pio_read_words(reads)
+            if writes:
+                yield from self.tc.pio_write_words(writes)
+        else:
+            yield Delay(0.05 * (reads + writes))
+
+    def push(self, desc: Descriptor,
+             by_host: bool) -> Generator[Any, Any, bool]:
+        yield from self.lock.acquire(by_host)
+        try:
+            ok = self.inner.push(desc, by_host=by_host)
+            yield from self._charge(by_host)
+            yield Delay(self.hold_overhead_us)
+        finally:
+            yield from self.lock.release(by_host)
+        return ok
+
+    def pop(self, by_host: bool
+            ) -> Generator[Any, Any, Optional[Descriptor]]:
+        yield from self.lock.acquire(by_host)
+        try:
+            desc = self.inner.pop(by_host=by_host)
+            yield from self._charge(by_host)
+            yield Delay(self.hold_overhead_us)
+        finally:
+            yield from self.lock.release(by_host)
+        return desc
+
+
+__all__ = ["LockedDescriptorQueue"]

@@ -1,0 +1,29 @@
+"""Benchmark harness: regenerates every table and figure of the paper."""
+
+from .harness import (
+    ThroughputResult, measure_receive_throughput, measure_round_trip,
+    measure_transmit_throughput, message_count_for,
+)
+from .latency import MESSAGE_SIZES, PAPER_TABLE_1, Table1Result, run_table1
+from .report import format_series, format_table, ratio_note
+from .throughput import (
+    FIGURE_SIZES_KB, FigureResult, PAPER_FIGURE_2, PAPER_FIGURE_3,
+    PAPER_FIGURE_4, run_figure2, run_figure3, run_figure4,
+)
+from .workloads import (
+    build_ip_fragments, build_udp_packet, pattern_data,
+    udp_ip_message_pdus,
+)
+
+__all__ = [
+    "measure_round_trip", "measure_receive_throughput",
+    "measure_transmit_throughput", "ThroughputResult",
+    "message_count_for",
+    "run_table1", "Table1Result", "MESSAGE_SIZES", "PAPER_TABLE_1",
+    "run_figure2", "run_figure3", "run_figure4", "FigureResult",
+    "FIGURE_SIZES_KB", "PAPER_FIGURE_2", "PAPER_FIGURE_3",
+    "PAPER_FIGURE_4",
+    "format_table", "format_series", "ratio_note",
+    "pattern_data", "build_udp_packet", "build_ip_fragments",
+    "udp_ip_message_pdus",
+]

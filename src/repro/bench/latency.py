@@ -1,0 +1,53 @@
+"""Table 1: round-trip latencies, as a complete experiment definition."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hw.specs import DEC3000_600, DS5000_200, MachineSpec
+from .harness import measure_round_trip
+from .report import format_table
+
+MESSAGE_SIZES = (1, 1024, 2048, 4096)
+
+# The paper's Table 1, verbatim (microseconds).
+PAPER_TABLE_1 = {
+    ("DECstation 5000/200", "atm"): (353, 417, 486, 778),
+    ("DECstation 5000/200", "udp"): (598, 659, 725, 1011),
+    ("DEC 3000/600", "atm"): (154, 215, 283, 449),
+    ("DEC 3000/600", "udp"): (316, 376, 446, 619),
+}
+
+
+@dataclass
+class Table1Result:
+    rows: dict = field(default_factory=dict)
+
+    def row(self, machine: MachineSpec, protocol: str) -> tuple:
+        return self.rows[(machine.name, protocol)]
+
+    def render(self) -> str:
+        # Interleave measured and paper rows for side-by-side reading.
+        display = {}
+        for (machine, protocol), values in self.rows.items():
+            key = f"{machine.split()[0]} {protocol.upper()}"
+            display[key] = values
+            display[f"{key} (paper)"] = PAPER_TABLE_1[(machine, protocol)]
+        return format_table(
+            "Table 1: Round-Trip Latencies (us)",
+            "Machine / Protocol", MESSAGE_SIZES, display, unit="us")
+
+
+def run_table1(rounds: int = 5) -> Table1Result:
+    """Measure every cell of Table 1."""
+    result = Table1Result()
+    for machine in (DS5000_200, DEC3000_600):
+        for protocol in ("atm", "udp"):
+            result.rows[(machine.name, protocol)] = tuple(
+                measure_round_trip(machine, size, protocol=protocol,
+                                   rounds=rounds)
+                for size in MESSAGE_SIZES)
+    return result
+
+
+__all__ = ["run_table1", "Table1Result", "MESSAGE_SIZES", "PAPER_TABLE_1"]

@@ -1,0 +1,87 @@
+"""ASCII rendering of paper-style tables and figure series."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence
+
+
+def format_table(title: str, col_header: str,
+                 columns: Sequence, rows: Mapping[str, Sequence[float]],
+                 unit: str = "", width: int = 8) -> str:
+    """A Table-1-like grid: one row label per series."""
+    lines = [title, ""]
+    header = f"{col_header:<28}" + "".join(
+        f"{str(c):>{width}}" for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label, values in rows.items():
+        cells = "".join(
+            f"{v:>{width}.0f}" if v == v else f"{'-':>{width}}"
+            for v in values)
+        lines.append(f"{label:<28}{cells}")
+    if unit:
+        lines.append(f"(values in {unit})")
+    return "\n".join(lines)
+
+
+def format_series(title: str, x_label: str, y_label: str,
+                  xs: Sequence, series: Mapping[str, Sequence[float]],
+                  paper_note: Optional[str] = None) -> str:
+    """A figure as a column-per-series table plus an ascii sketch."""
+    lines = [title, ""]
+    header = f"{x_label:>12}" + "".join(
+        f"{name:>24}" for name in series)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for i, x in enumerate(xs):
+        row = f"{str(x):>12}"
+        for values in series.values():
+            value = values[i] if i < len(values) else float("nan")
+            row += f"{value:>24.1f}"
+        lines.append(row)
+    lines.append(f"({y_label})")
+    if paper_note:
+        lines.append(f"paper: {paper_note}")
+    lines.append("")
+    lines.append(_sketch(xs, series))
+    return "\n".join(lines)
+
+
+def _sketch(xs: Sequence, series: Mapping[str, Sequence[float]],
+            height: int = 12, width: int = 60) -> str:
+    """A crude ascii plot, one mark character per series."""
+    marks = "*+o#x@"
+    all_values = [v for vs in series.values() for v in vs if v == v]
+    if not all_values:
+        return "(no data)"
+    top = max(all_values) * 1.05
+    grid = [[" "] * width for _ in range(height)]
+    n = max(len(xs) - 1, 1)
+    for si, (name, values) in enumerate(series.items()):
+        for i, v in enumerate(values):
+            if v != v:
+                continue
+            col = int(i / n * (width - 1))
+            row = height - 1 - int(v / top * (height - 1))
+            row = min(max(row, 0), height - 1)
+            grid[row][col] = marks[si % len(marks)]
+    lines = []
+    for i, row in enumerate(grid):
+        level = top * (height - 1 - i) / (height - 1)
+        lines.append(f"{level:7.0f} |" + "".join(row))
+    lines.append(" " * 8 + "+" + "-" * width)
+    legend = "  ".join(
+        f"{marks[i % len(marks)]}={name}"
+        for i, name in enumerate(series))
+    lines.append(" " * 9 + legend)
+    return "\n".join(lines)
+
+
+def ratio_note(measured: float, paper: float) -> str:
+    """'361 vs paper 340 (1.06x)' -- used in EXPERIMENTS.md rows."""
+    if paper == 0:
+        return f"{measured:.0f} vs paper {paper}"
+    return f"{measured:.0f} vs paper {paper:.0f} ({measured / paper:.2f}x)"
+
+
+__all__ = ["format_table", "format_series", "ratio_note"]

@@ -1,0 +1,131 @@
+"""Figures 2-4: throughput sweeps, as complete experiment definitions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..driver.config import CachePolicyKind
+from ..hw.dma import DmaMode
+from ..hw.specs import DEC3000_600, DS5000_200, MachineSpec
+from .harness import (
+    ThroughputResult, measure_receive_throughput,
+    measure_transmit_throughput,
+)
+from .report import format_series
+
+# Message sizes in KB, as on the figures' x axes (1..256 KB).
+FIGURE_SIZES_KB = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+# Peak values read off the paper's figures (Mbps at large messages).
+PAPER_FIGURE_2 = {
+    "double cell DMA": 379,
+    "single cell DMA": 340,
+    "single cell DMA, cache invalidated": 250,
+}
+PAPER_FIGURE_3 = {
+    "double cell DMA": 516,
+    "double cell DMA, UDP-CS": 438,
+    "single cell DMA": 460,
+    "single cell DMA, UDP-CS": 438,
+}
+PAPER_FIGURE_4 = {
+    "3000/600": 325,
+    "3000/600, UDP-CS": 315,
+    "5000/200": 280,
+}
+
+
+@dataclass
+class FigureResult:
+    title: str
+    sizes_kb: tuple
+    series: dict[str, list[float]] = field(default_factory=dict)
+    details: dict[str, list[ThroughputResult]] = field(
+        default_factory=dict)
+
+    def peak(self, name: str) -> float:
+        return max(self.series[name])
+
+    def at(self, name: str, size_kb: int) -> float:
+        return self.series[name][self.sizes_kb.index(size_kb)]
+
+    def render(self, paper: Optional[dict] = None) -> str:
+        note = None
+        if paper:
+            note = ", ".join(f"{k} peaks ~{v}" for k, v in paper.items())
+        return format_series(self.title, "KB", "Mbps",
+                             self.sizes_kb, self.series, paper_note=note)
+
+
+def _sweep_receive(title: str, machine: MachineSpec, configs: dict,
+                   sizes_kb=FIGURE_SIZES_KB) -> FigureResult:
+    result = FigureResult(title=title, sizes_kb=tuple(sizes_kb))
+    for name, kwargs in configs.items():
+        points = []
+        for kb in sizes_kb:
+            points.append(measure_receive_throughput(
+                machine, kb * 1024, **kwargs))
+        result.details[name] = points
+        result.series[name] = [p.mbps for p in points]
+    return result
+
+
+def run_figure2(sizes_kb=FIGURE_SIZES_KB) -> FigureResult:
+    """DEC 5000/200 UDP/IP/OSIRIS receive-side throughput."""
+    configs = {
+        "double cell DMA": dict(dma_mode=DmaMode.DOUBLE_CELL),
+        "single cell DMA": dict(dma_mode=DmaMode.SINGLE_CELL),
+        "single cell DMA, cache invalidated": dict(
+            dma_mode=DmaMode.SINGLE_CELL,
+            cache_policy=CachePolicyKind.EAGER),
+    }
+    return _sweep_receive(
+        "Figure 2: DEC 5000/200 UDP/IP/OSIRIS receive-side throughput",
+        DS5000_200, configs, sizes_kb)
+
+
+def run_figure3(sizes_kb=FIGURE_SIZES_KB) -> FigureResult:
+    """DEC 3000/600 UDP/IP/OSIRIS receive-side throughput."""
+    configs = {
+        "double cell DMA": dict(dma_mode=DmaMode.DOUBLE_CELL),
+        "double cell DMA, UDP-CS": dict(dma_mode=DmaMode.DOUBLE_CELL,
+                                        udp_checksum=True),
+        "single cell DMA": dict(dma_mode=DmaMode.SINGLE_CELL),
+        "single cell DMA, UDP-CS": dict(dma_mode=DmaMode.SINGLE_CELL,
+                                        udp_checksum=True),
+    }
+    return _sweep_receive(
+        "Figure 3: DEC 3000/600 UDP/IP/OSIRIS receive-side throughput",
+        DEC3000_600, configs, sizes_kb)
+
+
+def run_figure4(sizes_kb=FIGURE_SIZES_KB) -> FigureResult:
+    """UDP/IP/OSIRIS transmit-side throughput (single-cell DMA; the
+    longer-DMA hardware change was not complete, section 4)."""
+    result = FigureResult(
+        title="Figure 4: UDP/IP/OSIRIS transmit-side throughput",
+        sizes_kb=tuple(sizes_kb))
+    configs = {
+        "3000/600": (DEC3000_600, dict()),
+        "3000/600, UDP-CS": (DEC3000_600, dict(udp_checksum=True)),
+        "5000/200": (DS5000_200, dict()),
+    }
+    for name, (machine, kwargs) in configs.items():
+        points = []
+        for kb in sizes_kb:
+            # Enough messages that window-boundary effects stay small
+            # even at 256 KB.
+            count = max(8, min(200, (2 << 20) // (kb * 1024)))
+            points.append(measure_transmit_throughput(
+                machine, kb * 1024, messages=count, **kwargs))
+        result.details[name] = points
+        result.series[name] = [p.mbps for p in points]
+    return result
+
+
+__all__ = [
+    "run_figure2", "run_figure3", "run_figure4", "FigureResult",
+    "FIGURE_SIZES_KB", "PAPER_FIGURE_2", "PAPER_FIGURE_3",
+    "PAPER_FIGURE_4",
+]

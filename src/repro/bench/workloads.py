@@ -1,0 +1,66 @@
+"""Workload builders: wire images of UDP/IP messages.
+
+The receive-isolation experiments (figures 2 and 3) need the board to
+generate PDUs that look exactly like what a peer's stack would have
+sent: each IP fragment is one driver-level PDU carrying IP and
+(for the first fragment) UDP headers.  These builders mirror the
+sender-side logic of :mod:`repro.xkernel.protocols` byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..atm.crc import fast_internet_checksum as internet_checksum
+from ..xkernel.protocols import ip as ip_proto
+from ..xkernel.protocols import udp as udp_proto
+
+
+def pattern_data(nbytes: int, tag: bytes = b"OSIRIS-DATA.") -> bytes:
+    """Deterministic non-trivial payload bytes."""
+    reps = nbytes // len(tag) + 1
+    return (tag * reps)[:nbytes]
+
+
+def build_udp_packet(data: bytes, src_port: int, dst_port: int,
+                     checksum: bool) -> bytes:
+    csum = internet_checksum(data) if checksum else 0
+    header = udp_proto.HEADER.pack(src_port, dst_port, len(data), csum)
+    return header + data
+
+
+def build_ip_fragments(packet: bytes, mtu: int, ident: int,
+                       proto_id: int = 17) -> list[bytes]:
+    """Cut a transport packet into IP-fragment PDUs (sender view)."""
+    payload_per_frag = mtu - ip_proto.HEADER_BYTES
+    total = len(packet)
+    fragments = []
+    offset = 0
+    while offset < total:
+        take = min(payload_per_frag, total - offset)
+        more = offset + take < total
+        flags = ip_proto.FLAG_MORE_FRAGMENTS if more else 0
+        header = ip_proto.HEADER.pack(ident, offset, total, flags,
+                                      proto_id, 0)
+        csum = internet_checksum(header)
+        header = ip_proto.HEADER.pack(ident, offset, total, flags,
+                                      proto_id, csum)
+        fragments.append(header + packet[offset:offset + take])
+        offset += take
+    return fragments or [packet]
+
+
+def udp_ip_message_pdus(message_bytes: int, mtu: int,
+                        src_port: int = 9, dst_port: int = 7,
+                        checksum: bool = False,
+                        ident: int = 0x5150) -> list[bytes]:
+    """Driver-level PDUs for one UDP/IP message of ``message_bytes``."""
+    packet = build_udp_packet(pattern_data(message_bytes),
+                              src_port, dst_port, checksum)
+    return build_ip_fragments(packet, mtu, ident)
+
+
+__all__ = [
+    "pattern_data", "build_udp_packet", "build_ip_fragments",
+    "udp_ip_message_pdus",
+]

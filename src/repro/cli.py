@@ -1,0 +1,160 @@
+"""Command-line interface: regenerate the paper's results by name.
+
+Usage::
+
+    python -m repro table1
+    python -m repro figure2 --quick
+    python -m repro figure3 --sizes 4,16,64
+    python -m repro figure4
+    python -m repro all --quick
+    python -m repro latency --machine alpha --size 4096 --protocol udp
+    python -m repro receive --machine ds --size 16384 --dma double
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .bench import (
+    PAPER_FIGURE_2, PAPER_FIGURE_3, PAPER_FIGURE_4, measure_receive_throughput,
+    measure_round_trip, measure_transmit_throughput, run_figure2,
+    run_figure3, run_figure4, run_table1,
+)
+from .hw.dma import DmaMode
+from .hw.specs import DEC3000_600, DS5000_200, MachineSpec
+
+QUICK_SIZES = (1, 4, 16, 64, 256)
+FULL_SIZES = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+_MACHINES = {
+    "ds": DS5000_200, "ds5000": DS5000_200, "5000/200": DS5000_200,
+    "alpha": DEC3000_600, "3000": DEC3000_600, "3000/600": DEC3000_600,
+}
+
+_DMA = {"single": DmaMode.SINGLE_CELL, "double": DmaMode.DOUBLE_CELL,
+        "arbitrary": DmaMode.ARBITRARY}
+
+
+def _machine(name: str) -> MachineSpec:
+    try:
+        return _MACHINES[name.lower()]
+    except KeyError:
+        raise SystemExit(
+            f"unknown machine {name!r}; choose from {sorted(_MACHINES)}")
+
+
+def _sizes(args) -> tuple:
+    if args.sizes:
+        return tuple(int(s) for s in args.sizes.split(","))
+    return QUICK_SIZES if args.quick else FULL_SIZES
+
+
+def _cmd_table1(args) -> None:
+    print(run_table1(rounds=3 if args.quick else 5).render())
+
+
+def _cmd_figure(args, runner, paper) -> None:
+    print(runner(_sizes(args)).render(paper))
+
+
+def _cmd_all(args) -> None:
+    start = time.time()
+    _cmd_table1(args)
+    for runner, paper in ((run_figure2, PAPER_FIGURE_2),
+                          (run_figure3, PAPER_FIGURE_3),
+                          (run_figure4, PAPER_FIGURE_4)):
+        print()
+        _cmd_figure(args, runner, paper)
+    print(f"\ntotal wall time: {time.time() - start:.0f} s")
+
+
+def _cmd_latency(args) -> None:
+    machine = _machine(args.machine)
+    rtt = measure_round_trip(machine, args.size, protocol=args.protocol,
+                             rounds=5)
+    print(f"{machine.name}, {args.protocol.upper()}, {args.size} B: "
+          f"{rtt:.1f} us round trip")
+
+
+def _cmd_receive(args) -> None:
+    machine = _machine(args.machine)
+    result = measure_receive_throughput(
+        machine, args.size, dma_mode=_DMA[args.dma],
+        udp_checksum=args.checksum)
+    print(f"{machine.name}, receive, {args.size} B messages, "
+          f"{args.dma}-cell DMA"
+          f"{', UDP-CS' if args.checksum else ''}: "
+          f"{result.mbps:.1f} Mbps "
+          f"(bus {result.bus_utilization:.0%} busy, "
+          f"{result.interrupts} interrupts)")
+
+
+def _cmd_transmit(args) -> None:
+    machine = _machine(args.machine)
+    result = measure_transmit_throughput(
+        machine, args.size, dma_mode=_DMA[args.dma],
+        udp_checksum=args.checksum)
+    print(f"{machine.name}, transmit, {args.size} B messages, "
+          f"{args.dma}-cell DMA: {result.mbps:.1f} Mbps")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate results from 'Experiences with a "
+                    "High-Speed Network Adaptor' (SIGCOMM 1994).")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--quick", action="store_true",
+                       help="coarser, faster sweep")
+        p.add_argument("--sizes", default=None,
+                       help="comma-separated message sizes in KB")
+
+    for name in ("table1", "figure2", "figure3", "figure4", "all"):
+        p = sub.add_parser(name)
+        common(p)
+
+    for name, fn in (("latency", _cmd_latency),
+                     ("receive", _cmd_receive),
+                     ("transmit", _cmd_transmit)):
+        p = sub.add_parser(name, help=f"one {name} measurement")
+        p.add_argument("--machine", default="ds",
+                       help="ds | alpha")
+        p.add_argument("--size", type=int, default=16 * 1024,
+                       help="message size in bytes")
+        if name == "latency":
+            p.add_argument("--protocol", default="udp",
+                           choices=("udp", "atm"))
+        else:
+            p.add_argument("--dma", default="single",
+                           choices=sorted(_DMA))
+            p.add_argument("--checksum", action="store_true")
+        p.set_defaults(func=fn)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "table1":
+        _cmd_table1(args)
+    elif args.command == "figure2":
+        _cmd_figure(args, run_figure2, PAPER_FIGURE_2)
+    elif args.command == "figure3":
+        _cmd_figure(args, run_figure3, PAPER_FIGURE_3)
+    elif args.command == "figure4":
+        _cmd_figure(args, run_figure4, PAPER_FIGURE_4)
+    elif args.command == "all":
+        _cmd_all(args)
+    else:
+        args.func(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
+
+
+__all__ = ["main", "build_parser"]

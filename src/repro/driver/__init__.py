@@ -1,0 +1,10 @@
+"""The OSIRIS host device driver."""
+
+from .cache_policy import CachePolicy
+from .config import CachePolicyKind, DriverConfig
+from .osiris_driver import DriverProtocol, DriverSession, OsirisDriver
+
+__all__ = [
+    "OsirisDriver", "DriverSession", "DriverProtocol",
+    "DriverConfig", "CachePolicyKind", "CachePolicy",
+]

@@ -1,0 +1,75 @@
+"""Cache invalidation policies (paper, section 2.3).
+
+The DECstation's cache is not coherent with DMA; after a receive DMA
+the CPU may read stale bytes.  Two remedies:
+
+* **Eager**: invalidate every received buffer's cache lines before the
+  data is touched.  Safe, but costs ~1 CPU cycle per word plus the
+  misses caused by collaterally invalidated data -- figure 2 shows the
+  throughput hit.
+* **Lazy**: skip the invalidation and rely on the error detection
+  already present for an unreliable network (checksums, framing).
+  When verification fails, invalidate just the affected lines and
+  re-evaluate the message before declaring it in error.
+
+Machines with coherent DMA (DEC 3000) need neither; policy ``NONE``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..host.kernel import HostOS
+from ..xkernel.message import Message
+from .config import CachePolicyKind
+
+
+class CachePolicy:
+    """Timed invalidation actions against one host's cache."""
+
+    def __init__(self, kernel: HostOS, kind: CachePolicyKind):
+        self.kernel = kernel
+        self.kind = kind
+        self.eager_invalidations = 0
+        self.lazy_recoveries = 0
+        self.invalidated_bytes = 0
+
+    def _invalidate(self, addr: int,
+                    nbytes: int) -> Generator[Any, Any, None]:
+        machine = self.kernel.machine
+        costs = machine.costs
+        self.kernel.cache.invalidate(addr, nbytes)
+        self.invalidated_bytes += nbytes
+        cost = (machine.invalidate_us(nbytes)
+                * costs.invalidate_aftermath_factor)
+        yield from self.kernel.cpu.execute(
+            cost, bus_fraction=costs.invalidate_bus_fraction)
+
+    def on_receive_buffer(self, addr: int,
+                          nbytes: int) -> Generator[Any, Any, None]:
+        """Driver hook, called for every dequeued receive buffer."""
+        if self.kind is CachePolicyKind.EAGER:
+            self.eager_invalidations += 1
+            yield from self._invalidate(addr, nbytes)
+
+    def recover(self, msg: Message) -> Generator[Any, Any, bool]:
+        """Verification-failure hook: under the lazy policy, flush the
+        message's lines and ask the caller to re-evaluate."""
+        if self.kind is not CachePolicyKind.LAZY:
+            return False
+        self.lazy_recoveries += 1
+        for buf in msg.physical_buffers():
+            yield from self._invalidate(buf.addr, buf.length)
+        return True
+
+    def recover_range(self, addr: int,
+                      nbytes: int) -> Generator[Any, Any, bool]:
+        """Range-based variant for pre-Message driver checks."""
+        if self.kind is not CachePolicyKind.LAZY:
+            return False
+        self.lazy_recoveries += 1
+        yield from self._invalidate(addr, nbytes)
+        return True
+
+
+__all__ = ["CachePolicy"]

@@ -1,0 +1,6 @@
+"""Fast buffers: cached cross-domain buffer transfer (section 3.1)."""
+
+from .fbuf import Fbuf, FbufAllocator
+from .remap import copy_transfer, copy_traverse
+
+__all__ = ["Fbuf", "FbufAllocator", "copy_transfer", "copy_traverse"]

@@ -1,0 +1,35 @@
+"""Cost-model comparison: fbufs versus copying (section 3.1 context).
+
+The alternative to transferring buffers by (cached) page remapping is
+copying the data into the target domain's memory, paying a per-byte
+CPU cost plus an IPC crossing.  These helpers run the two disciplines
+over the same workload so the fbuf ablation (E13) can compare them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..host.domains import ProtectionDomain, cross_domain
+from ..host.kernel import HostOS
+
+
+def copy_transfer(kernel: HostOS, nbytes: int,
+                  to_domain: ProtectionDomain) -> Generator[Any, Any, None]:
+    """Copy-based cross-domain transfer: IPC + per-byte copy."""
+    costs = kernel.machine.costs
+    yield from cross_domain(kernel.cpu, to_domain)
+    yield from kernel.cpu.execute(
+        nbytes * costs.copy_per_byte,
+        bus_fraction=costs.data_touch_bus_fraction)
+
+
+def copy_traverse(kernel: HostOS, nbytes: int,
+                  domains: list[ProtectionDomain]
+                  ) -> Generator[Any, Any, None]:
+    """Copy the data through every domain of a path."""
+    for domain in domains:
+        yield from copy_transfer(kernel, nbytes, domain)
+
+
+__all__ = ["copy_transfer", "copy_traverse"]

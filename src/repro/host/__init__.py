@@ -1,0 +1,13 @@
+"""Host OS substrate: virtual memory, wiring, domains, kernel."""
+
+from .domains import ProtectionDomain, cross_domain
+from .kernel import HostOS
+from .vm import AddressSpace, PhysBuffer
+from .wiring import WiringService, WiringStyle
+
+__all__ = [
+    "AddressSpace", "PhysBuffer",
+    "WiringService", "WiringStyle",
+    "ProtectionDomain", "cross_domain",
+    "HostOS",
+]

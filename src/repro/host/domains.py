@@ -1,0 +1,51 @@
+"""Protection domains.
+
+Mach is a microkernel: device drivers, protocol servers and
+applications may all live in different protection domains, and network
+data may have to traverse several of them on its way to the
+application (paper, introduction).  A domain here is an address space
+plus an identity; crossing between domains costs
+``SoftwareCosts.domain_crossing`` unless an fbuf is used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator
+
+from ..hw.cpu import HostCPU
+from ..hw.memory import PhysicalMemory
+from .vm import AddressSpace
+
+
+@dataclass
+class ProtectionDomain:
+    """One protection domain: kernel, a server, or an application."""
+
+    name: str
+    space: AddressSpace
+    is_kernel: bool = False
+    crossings_in: int = 0
+
+    @staticmethod
+    def kernel(memory: PhysicalMemory) -> "ProtectionDomain":
+        space = AddressSpace(memory, name="kernel",
+                             base_vaddr=0x8000_0000)
+        return ProtectionDomain(name="kernel", space=space, is_kernel=True)
+
+    @staticmethod
+    def user(memory: PhysicalMemory, name: str,
+             index: int = 1) -> "ProtectionDomain":
+        space = AddressSpace(memory, name=name,
+                             base_vaddr=0x1000_0000 * index)
+        return ProtectionDomain(name=name, space=space)
+
+
+def cross_domain(cpu: HostCPU, target: ProtectionDomain
+                 ) -> Generator[Any, Any, None]:
+    """A control transfer into ``target`` (IPC / trap), timed."""
+    target.crossings_in += 1
+    yield from cpu.execute(cpu.machine.costs.domain_crossing)
+
+
+__all__ = ["ProtectionDomain", "cross_domain"]

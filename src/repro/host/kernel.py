@@ -1,0 +1,92 @@
+"""The host operating system kernel.
+
+Owns the kernel protection domain, dispatches board interrupts into
+registered handlers (charging the machine's interrupt-service cost on
+the CPU at interrupt priority), and offers thread spawning for driver
+and protocol activities.  This is the Mach-out-of-necessity slice: the
+experiments need interrupt dispatch, wiring, protection domains and
+threads -- not a full microkernel.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from ..hw.cache import DataCache
+from ..hw.cpu import HostCPU
+from ..hw.memory import PhysicalMemory
+from ..osiris.board import OsirisBoard
+from ..osiris.interrupts import InterruptKind
+from ..sim import Process, Simulator, spawn
+from .domains import ProtectionDomain
+from .wiring import WiringService, WiringStyle
+
+IrqCallback = Callable[[InterruptKind, int], None]
+
+
+class HostOS:
+    """Kernel services for one host."""
+
+    def __init__(self, sim: Simulator, cpu: HostCPU, cache: DataCache,
+                 memory: PhysicalMemory,
+                 wiring_style: WiringStyle = WiringStyle.FAST_LOW_LEVEL):
+        self.sim = sim
+        self.cpu = cpu
+        self.cache = cache
+        self.memory = memory
+        self.machine = cpu.machine
+        self.kernel_domain = ProtectionDomain.kernel(memory)
+        self.wiring = WiringService(cpu, wiring_style)
+        self.domains: list[ProtectionDomain] = [self.kernel_domain]
+        self._irq_handlers: dict[InterruptKind, IrqCallback] = {}
+        self.interrupts_serviced = 0
+        self.interrupt_time = 0.0
+        self._thread_seq = 0
+
+    # -- domains ---------------------------------------------------------------
+
+    def create_domain(self, name: str) -> ProtectionDomain:
+        domain = ProtectionDomain.user(self.memory, name,
+                                       index=len(self.domains) + 1)
+        self.domains.append(domain)
+        return domain
+
+    # -- threads ---------------------------------------------------------------
+
+    def spawn_thread(self, gen, name: Optional[str] = None) -> Process:
+        self._thread_seq += 1
+        return spawn(self.sim, gen, name or f"kthread{self._thread_seq}")
+
+    # -- interrupts --------------------------------------------------------------
+
+    def attach_board(self, board: OsirisBoard) -> None:
+        board.irq.register_handler(self._interrupt_entry)
+
+    def register_irq_handler(self, kind: InterruptKind,
+                             callback: IrqCallback) -> None:
+        """Driver installs the action run after interrupt service.
+
+        The callback executes in interrupt context (no CPU charged);
+        typical use is scheduling a driver thread (section 2.1.2).
+        """
+        self._irq_handlers[kind] = callback
+
+    def _interrupt_entry(self, kind: InterruptKind, channel_id: int) -> None:
+        self.spawn_thread(self._service_interrupt(kind, channel_id),
+                          name=f"irq-{kind.value}")
+
+    def _service_interrupt(self, kind: InterruptKind,
+                           channel_id: int) -> Generator[Any, Any, None]:
+        costs = self.machine.costs
+        self.interrupts_serviced += 1
+        self.interrupt_time += costs.interrupt_service
+        # Interrupt handlers preempt thread-level work (priority 0).
+        yield from self.cpu.execute(costs.interrupt_service, priority=0.0)
+        callback = self._irq_handlers.get(kind)
+        if callback is not None:
+            yield from self.cpu.execute(costs.interrupt_dispatch,
+                                        priority=0.0)
+            callback(kind, channel_id)
+
+
+__all__ = ["HostOS"]

@@ -1,0 +1,231 @@
+"""Virtual memory: address spaces, page tables, fragmentation.
+
+The heart of section 2.2: contiguous virtual pages generally map to
+*non-contiguous* physical frames (the allocator hands frames out
+scrambled), so a virtually contiguous message shatters into many
+physical buffers.  :meth:`AddressSpace.physical_buffers` performs that
+shattering -- it is the function whose output size the driver's
+per-buffer costs multiply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..hw.memory import PhysicalMemory
+from ..sim import SimulationError
+
+
+@dataclass(frozen=True)
+class PhysBuffer:
+    """A physically contiguous run of bytes (one DMA-able unit)."""
+
+    addr: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise SimulationError("empty physical buffer")
+
+
+@dataclass
+class _PageEntry:
+    frame_addr: int
+    wired: int = 0
+    owned: bool = True  # frame is freed on unmap
+
+
+class AddressSpace:
+    """A page table over :class:`PhysicalMemory` plus a bump allocator
+    for virtual addresses."""
+
+    def __init__(self, memory: PhysicalMemory, name: str = "space",
+                 base_vaddr: int = 0x1000_0000):
+        self.memory = memory
+        self.name = name
+        self.page_size = memory.page_size
+        self._pages: dict[int, _PageEntry] = {}
+        self._brk = base_vaddr
+        self.wire_calls = 0
+
+    # -- mapping -------------------------------------------------------------
+
+    def _vpn(self, vaddr: int) -> int:
+        return vaddr // self.page_size
+
+    def map_page(self, vaddr: int,
+                 frame_addr: Optional[int] = None) -> int:
+        """Map the page containing ``vaddr``; returns the frame address.
+
+        Without ``frame_addr`` a fresh (scrambled-order) frame is
+        allocated; with it, an existing frame is shared (page
+        remapping -- the fbuf building block).
+        """
+        vpn = self._vpn(vaddr)
+        if vpn in self._pages:
+            raise SimulationError(f"{self.name}: vpn {vpn} already mapped")
+        owned = frame_addr is None
+        if frame_addr is None:
+            frame_addr = self.memory.alloc_frame()
+        self._pages[vpn] = _PageEntry(frame_addr=frame_addr, owned=owned)
+        return frame_addr
+
+    def map_identity(self, phys_addr: int, nbytes: int) -> int:
+        """Identity-map a physical range (kernel view of the static
+        contiguous buffer pool).  Returns the virtual address (==
+        physical)."""
+        first = phys_addr - (phys_addr % self.page_size)
+        last = phys_addr + nbytes - 1
+        page = first
+        while page <= last:
+            vpn = self._vpn(page)
+            if vpn not in self._pages:
+                self._pages[vpn] = _PageEntry(frame_addr=page, owned=False)
+            elif self._pages[vpn].frame_addr != page:
+                raise SimulationError("identity mapping conflict")
+            page += self.page_size
+        return phys_addr
+
+    def unmap_page(self, vaddr: int) -> None:
+        vpn = self._vpn(vaddr)
+        entry = self._pages.get(vpn)
+        if entry is None:
+            raise SimulationError(f"{self.name}: vpn {vpn} not mapped")
+        if entry.wired:
+            raise SimulationError(f"{self.name}: unmapping wired page")
+        del self._pages[vpn]
+        if entry.owned:
+            self.memory.free_frame(entry.frame_addr)
+
+    def is_mapped(self, vaddr: int) -> bool:
+        return self._vpn(vaddr) in self._pages
+
+    # -- allocation -----------------------------------------------------------
+
+    def alloc(self, nbytes: int, align_page: bool = False,
+              offset: int = 0, try_contiguous: bool = False) -> int:
+        """Allocate a fresh virtual range with backing frames.
+
+        ``offset`` places the start inside the first page (application
+        messages are 'typically not aligned with page boundaries',
+        section 2.2); ``align_page`` forces page alignment, the
+        paper's countermeasure.  ``try_contiguous`` asks for
+        *physically* contiguous frames on a best-effort basis -- the
+        OS support the paper reports experimenting with at the end of
+        section 2.2 -- falling back silently to scattered frames.
+        """
+        if align_page and offset:
+            raise SimulationError("align_page and offset are exclusive")
+        start = self._brk
+        if align_page or offset or try_contiguous:
+            start = start - (start % self.page_size) + self.page_size
+            start += offset
+        end = start + max(nbytes, 1)
+        first_page = start - (start % self.page_size)
+        npages = (end - 1 - first_page) // self.page_size + 1
+        if try_contiguous:
+            base = self.memory.try_alloc_contiguous_frames(npages)
+            if base is not None:
+                for i in range(npages):
+                    vpn = self._vpn(first_page + i * self.page_size)
+                    if vpn in self._pages:
+                        raise SimulationError(
+                            f"{self.name}: vpn {vpn} already mapped")
+                    self._pages[vpn] = _PageEntry(
+                        frame_addr=base + i * self.page_size)
+                self._brk = end
+                return start
+        page = first_page
+        while page < end:
+            if not self.is_mapped(page):
+                self.map_page(page)
+            page += self.page_size
+        self._brk = end
+        return start
+
+    # -- translation and access -------------------------------------------------
+
+    def translate(self, vaddr: int) -> int:
+        vpn = self._vpn(vaddr)
+        entry = self._pages.get(vpn)
+        if entry is None:
+            raise SimulationError(
+                f"{self.name}: fault at {vaddr:#x} (unmapped)")
+        return entry.frame_addr + (vaddr % self.page_size)
+
+    def physical_buffers(self, vaddr: int, nbytes: int) -> list[PhysBuffer]:
+        """Shatter a virtual range into physically contiguous buffers.
+
+        Adjacent frames merge into one buffer; in practice the
+        scrambled allocator makes that rare, so a range of n pages
+        yields about n buffers (section 2.2, figure 1).
+        """
+        if nbytes <= 0:
+            raise SimulationError("empty range")
+        buffers: list[PhysBuffer] = []
+        pos = vaddr
+        remaining = nbytes
+        while remaining > 0:
+            phys = self.translate(pos)
+            in_page = self.page_size - (pos % self.page_size)
+            take = min(in_page, remaining)
+            if buffers and buffers[-1].addr + buffers[-1].length == phys:
+                buffers[-1] = PhysBuffer(
+                    buffers[-1].addr, buffers[-1].length + take)
+            else:
+                buffers.append(PhysBuffer(phys, take))
+            pos += take
+            remaining -= take
+        return buffers
+
+    def read(self, vaddr: int, nbytes: int) -> bytes:
+        out = bytearray()
+        for buf in self.physical_buffers(vaddr, nbytes):
+            out += self.memory.read(buf.addr, buf.length)
+        return bytes(out)
+
+    def write(self, vaddr: int, data: bytes) -> None:
+        offset = 0
+        for buf in self.physical_buffers(vaddr, len(data)):
+            self.memory.write(buf.addr, data[offset:offset + buf.length])
+            offset += buf.length
+
+    # -- wiring ----------------------------------------------------------------
+
+    def wire(self, vaddr: int, nbytes: int) -> int:
+        """Pin the pages backing a range; returns the page count (the
+        caller charges per-page time via the wiring service)."""
+        self.wire_calls += 1
+        count = 0
+        for vpn in self._range_vpns(vaddr, nbytes):
+            self._pages[vpn].wired += 1
+            count += 1
+        return count
+
+    def unwire(self, vaddr: int, nbytes: int) -> int:
+        count = 0
+        for vpn in self._range_vpns(vaddr, nbytes):
+            entry = self._pages[vpn]
+            if entry.wired == 0:
+                raise SimulationError("unwiring a page that is not wired")
+            entry.wired -= 1
+            count += 1
+        return count
+
+    def wired_pages(self) -> int:
+        return sum(1 for e in self._pages.values() if e.wired > 0)
+
+    def _range_vpns(self, vaddr: int, nbytes: int) -> list[int]:
+        if nbytes <= 0:
+            raise SimulationError("empty range")
+        first = self._vpn(vaddr)
+        last = self._vpn(vaddr + nbytes - 1)
+        vpns = list(range(first, last + 1))
+        for vpn in vpns:
+            if vpn not in self._pages:
+                raise SimulationError(f"{self.name}: vpn {vpn} not mapped")
+        return vpns
+
+
+__all__ = ["AddressSpace", "PhysBuffer"]

@@ -1,0 +1,63 @@
+"""Page wiring services (paper, section 2.4).
+
+Before a buffer's address is handed to the board for DMA its pages
+must be wired (pinned).  Mach's standard service turned out to be
+surprisingly expensive -- it also protects the page-table pages needed
+to translate the address -- so the driver switched to low-level
+functionality with acceptable cost.  Both styles are provided; the
+wiring ablation (E10) compares them on the send path.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Generator
+
+from ..hw.cpu import HostCPU
+from .vm import AddressSpace
+
+
+class WiringStyle(enum.Enum):
+    MACH_STANDARD = "mach-standard"   # vm_wire-equivalent, heavyweight
+    FAST_LOW_LEVEL = "fast-low-level"  # what the OSIRIS driver uses
+
+
+class WiringService:
+    """Timed wiring operations against an address space."""
+
+    def __init__(self, cpu: HostCPU,
+                 style: WiringStyle = WiringStyle.FAST_LOW_LEVEL):
+        self.cpu = cpu
+        self.style = style
+        self.pages_wired = 0
+        self.pages_unwired = 0
+        self.time_spent = 0.0
+
+    def _per_page_cost(self) -> float:
+        costs = self.cpu.machine.costs
+        if self.style is WiringStyle.MACH_STANDARD:
+            return costs.page_wire_mach
+        return costs.page_wire_fast
+
+    def wire(self, space: AddressSpace, vaddr: int,
+             nbytes: int) -> Generator[Any, Any, int]:
+        """Wire a range; charges per-page CPU time.  Returns pages."""
+        pages = space.wire(vaddr, nbytes)
+        cost = pages * self._per_page_cost()
+        self.pages_wired += pages
+        self.time_spent += cost
+        yield from self.cpu.execute(cost)
+        return pages
+
+    def unwire(self, space: AddressSpace, vaddr: int,
+               nbytes: int) -> Generator[Any, Any, int]:
+        """Unwire a range; cheaper than wiring (bookkeeping only)."""
+        pages = space.unwire(vaddr, nbytes)
+        cost = pages * self._per_page_cost() * 0.4
+        self.pages_unwired += pages
+        self.time_spent += cost
+        yield from self.cpu.execute(cost)
+        return pages
+
+
+__all__ = ["WiringService", "WiringStyle"]

@@ -1,0 +1,27 @@
+"""Hardware models: machines, buses, caches, memory and DMA engines."""
+
+from .bus import MemorySystem, TurboChannel
+from .cache import DataCache
+from .cpu import HostCPU
+from .dma import DmaController, DmaMode
+from .memory import (
+    DualPortMemory, OutOfMemory, PhysicalMemory, TestAndSetRegister,
+)
+from .sgmap import ScatterGatherMap, SgMapping
+from .specs import (
+    AAL_PAYLOAD_BYTES, ATM_CELL_BYTES, ATM_PAYLOAD_BYTES, BoardSpec, BusSpec,
+    CacheSpec, DEC3000_600, DEFAULT_BOARD, DS5000_200, LINK_MBPS,
+    LINK_PAYLOAD_MBPS, MACHINES, MachineSpec, STRIPE_LINKS, SoftwareCosts,
+    with_costs,
+)
+
+__all__ = [
+    "TurboChannel", "MemorySystem", "DataCache", "HostCPU",
+    "DmaController", "DmaMode",
+    "ScatterGatherMap", "SgMapping",
+    "PhysicalMemory", "DualPortMemory", "TestAndSetRegister", "OutOfMemory",
+    "BusSpec", "CacheSpec", "SoftwareCosts", "MachineSpec", "BoardSpec",
+    "DS5000_200", "DEC3000_600", "DEFAULT_BOARD", "MACHINES", "with_costs",
+    "ATM_CELL_BYTES", "ATM_PAYLOAD_BYTES", "AAL_PAYLOAD_BYTES",
+    "LINK_MBPS", "LINK_PAYLOAD_MBPS", "STRIPE_LINKS",
+]

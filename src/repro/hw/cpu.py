@@ -1,0 +1,84 @@
+"""Host CPU model.
+
+The CPU is a capacity-1 resource: interrupt handlers, the driver
+thread and protocol processing all serialize on it.  Each unit of
+software work has two timing components -- pure execution and memory
+traffic -- and the memory component is routed through
+:class:`repro.hw.bus.MemorySystem`, which decides whether it contends
+with DMA (shared path) or not (crossbar).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..sim import Delay, Resource, Simulator
+from .bus import MemorySystem
+from .specs import MachineSpec
+
+
+class HostCPU:
+    """The host processor, shared by all software activities."""
+
+    def __init__(self, sim: Simulator, machine: MachineSpec,
+                 memsys: MemorySystem):
+        self.sim = sim
+        self.machine = machine
+        self.memsys = memsys
+        self.resource = Resource(sim, f"cpu:{machine.name}", capacity=1)
+        self.busy_us = 0.0
+
+    def execute(self, duration: float,
+                bus_fraction: float | None = None,
+                priority: float = 1.0) -> Generator[Any, Any, None]:
+        """Run software for ``duration`` microseconds of CPU time.
+
+        ``bus_fraction`` is the share of that time spent on memory
+        traffic; it defaults to the machine's calibrated
+        ``cpu_bus_fraction``.  Holds the CPU for the whole duration.
+        ``priority`` orders contenders for the CPU (interrupt handlers
+        pass 0.0 to run ahead of queued thread work).
+        """
+        if duration <= 0:
+            return
+        if bus_fraction is None:
+            bus_fraction = self.machine.costs.cpu_bus_fraction
+        self.busy_us += duration
+        grant = yield self.resource.request(priority)
+        try:
+            memory_part = duration * bus_fraction
+            compute_part = duration - memory_part
+            if compute_part > 0:
+                yield Delay(compute_part)
+            yield from self.memsys.cpu_memory_time(memory_part)
+        finally:
+            grant.release()
+
+    def touch_data(self, nbytes: int) -> Generator[Any, Any, None]:
+        """CPU reads ``nbytes`` of uncached network data from memory."""
+        costs = self.machine.costs
+        yield from self.execute(nbytes * costs.data_touch_per_byte,
+                                costs.data_touch_bus_fraction)
+
+    def checksum(self, nbytes: int,
+                 data_resident: bool) -> Generator[Any, Any, None]:
+        """Compute an Internet checksum over ``nbytes``.
+
+        ``data_resident`` is True when the data is already in the cache
+        (e.g. after a coherent DMA or a PIO transfer); otherwise the
+        per-byte touch cost is added on top of the arithmetic.
+        """
+        costs = self.machine.costs
+        per_byte = costs.checksum_per_byte
+        fraction = 0.0
+        if not data_resident:
+            per_byte += costs.data_touch_per_byte
+            fraction = costs.data_touch_bus_fraction
+        yield from self.execute(nbytes * per_byte, fraction)
+
+    def cycles(self, n: float) -> float:
+        """Convert CPU cycles to microseconds."""
+        return n * self.machine.cpu_cycle_us
+
+
+__all__ = ["HostCPU"]

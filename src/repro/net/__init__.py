@@ -1,0 +1,7 @@
+"""End-to-end assembly: hosts and back-to-back networks."""
+
+from .host_node import Host
+from .network import BackToBack
+from .stats import HostStats, snapshot
+
+__all__ = ["Host", "BackToBack", "HostStats", "snapshot"]

@@ -1,0 +1,71 @@
+"""Two hosts back-to-back -- the paper's measurement topology.
+
+'Round-trip latencies achieved between a pair of workstations
+connected by a pair of OSIRIS boards linked back-to-back' (section 4).
+Each direction is an independent four-way striped link.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..atm.aal5 import SegmentMode
+from ..atm.striping import SkewModel, StripedLink
+from ..hw.specs import MachineSpec
+from ..sim import Fidelity, Simulator
+from .host_node import Host
+
+
+class BackToBack:
+    """Two hosts joined by striped links in both directions."""
+
+    def __init__(self, machine_a: MachineSpec,
+                 machine_b: Optional[MachineSpec] = None,
+                 skew: Optional[SkewModel] = None,
+                 segment_mode: SegmentMode = SegmentMode.IN_ORDER,
+                 prop_delay_us: float = 2.0,
+                 fidelity: Optional[Fidelity] = None,
+                 **host_kw):
+        self.sim = Simulator()
+        machine_b = machine_b or machine_a
+        self.a = Host(self.sim, machine_a, name="a", fidelity=fidelity,
+                      **host_kw)
+        self.b = Host(self.sim, machine_b, name="b", fidelity=fidelity,
+                      **host_kw)
+        # Two skew models so per-link RNG streams stay independent.
+        skew_ab = skew
+        skew_ba = None
+        if skew is not None:
+            skew_ba = SkewModel(
+                fixed_offsets_us=skew.fixed_offsets_us,
+                mux_amplitude_us=skew.mux_amplitude_us,
+                mux_period_cells=skew.mux_period_cells,
+                switch_jitter_us=skew.switch_jitter_us,
+                seed=skew.seed + 1)
+        self.link_ab = StripedLink(self.sim, self.b.board.deliver_cell,
+                                   skew=skew_ab,
+                                   prop_delay_us=prop_delay_us,
+                                   name="ab")
+        self.link_ba = StripedLink(self.sim, self.a.board.deliver_cell,
+                                   skew=skew_ba,
+                                   prop_delay_us=prop_delay_us,
+                                   name="ba")
+        self.a.connect(self.link_ab, segment_mode=segment_mode)
+        self.b.connect(self.link_ba, segment_mode=segment_mode)
+
+    def open_udp_pair(self, vci: int = 300, port_a: int = 1000,
+                      port_b: int = 2000, echo_b: bool = True, **kw):
+        """Matching UDP test programs on both hosts, same VCI."""
+        app_a, _ = self.a.open_udp_path(port_a, port_b, vci=vci, **kw)
+        app_b, _ = self.b.open_udp_path(port_b, port_a, vci=vci,
+                                        echo=echo_b, **kw)
+        return app_a, app_b
+
+    def open_raw_pair(self, vci: int = 300, echo_b: bool = True, **kw):
+        """Matching raw-ATM test programs on both hosts."""
+        app_a, _ = self.a.open_raw_path(vci=vci, **kw)
+        app_b, _ = self.b.open_raw_path(vci=vci, echo=echo_b, **kw)
+        return app_a, app_b
+
+
+__all__ = ["BackToBack"]

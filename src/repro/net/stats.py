@@ -1,0 +1,98 @@
+"""Aggregate statistics snapshots for a host.
+
+Pulls every counter the models maintain into one flat, printable
+structure -- the first thing a user wants after a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+
+@dataclass(frozen=True)
+class HostStats:
+    """A point-in-time snapshot of one host's counters."""
+
+    name: str
+    sim_time_us: float
+
+    # Bus.
+    bus_utilization: float
+    dma_bytes_read: int
+    dma_bytes_written: int
+    pio_words: int
+
+    # CPU and kernel.
+    cpu_busy_us: float
+    interrupts_serviced: int
+    interrupt_time_us: float
+    pages_wired: int
+    pages_unwired: int
+
+    # Board.
+    tx_dma_transactions: int
+    rx_dma_transactions: int
+    rx_fifo_drops: int
+    unknown_vci_drops: int
+    cells_sent: int
+    cells_received: int
+    combined_dmas: int
+    single_dmas: int
+
+    # Driver.
+    pdus_sent: int
+    pdus_received: int
+    rx_errors: int
+    tx_full_events: int
+    cached_buffer_hits: int
+    uncached_buffer_uses: int
+    lazy_recoveries: int
+    eager_invalidations: int
+
+    def render(self) -> str:
+        lines = [f"Host {self.name!r} at t={self.sim_time_us:.1f} us"]
+        for key, value in asdict(self).items():
+            if key in ("name", "sim_time_us"):
+                continue
+            if isinstance(value, float):
+                lines.append(f"  {key:<24} {value:12.2f}")
+            else:
+                lines.append(f"  {key:<24} {value:12d}")
+        return "\n".join(lines)
+
+
+def snapshot(host) -> HostStats:
+    """Collect a :class:`HostStats` from a :class:`repro.net.Host`."""
+    kernel_channel = host.board.kernel_channel
+    return HostStats(
+        name=host.name,
+        sim_time_us=host.sim.now,
+        bus_utilization=host.tc.utilization(),
+        dma_bytes_read=host.tc.dma_bytes_read,
+        dma_bytes_written=host.tc.dma_bytes_written,
+        pio_words=host.tc.pio_words,
+        cpu_busy_us=host.cpu.busy_us,
+        interrupts_serviced=host.kernel.interrupts_serviced,
+        interrupt_time_us=host.kernel.interrupt_time,
+        pages_wired=host.kernel.wiring.pages_wired,
+        pages_unwired=host.kernel.wiring.pages_unwired,
+        tx_dma_transactions=host.board.tx_dma.transactions,
+        rx_dma_transactions=host.board.rx_dma.transactions,
+        rx_fifo_drops=host.board.rx_fifo_drops,
+        unknown_vci_drops=host.board.unknown_vci_drops,
+        cells_sent=host.txp.cells_sent if host.txp else 0,
+        cells_received=host.rxp.cells_received if host.rxp else 0,
+        combined_dmas=host.rxp.combined_dmas if host.rxp else 0,
+        single_dmas=host.rxp.single_dmas if host.rxp else 0,
+        pdus_sent=host.driver.pdus_sent,
+        pdus_received=host.driver.pdus_received,
+        rx_errors=host.driver.rx_errors,
+        tx_full_events=host.driver.tx_full_events,
+        cached_buffer_hits=kernel_channel.cached_buffer_hits,
+        uncached_buffer_uses=kernel_channel.uncached_buffer_uses,
+        lazy_recoveries=host.driver.cache_policy.lazy_recoveries,
+        eager_invalidations=host.driver.cache_policy.eager_invalidations,
+    )
+
+
+__all__ = ["HostStats", "snapshot"]

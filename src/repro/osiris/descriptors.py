@@ -1,0 +1,70 @@
+"""Buffer descriptors exchanged through the dual-port memory.
+
+Each queue element describes a single *physical buffer* in main memory
+(paper, section 2.1.1): its physical address and length.  We add the
+flag and VCI words the OSIRIS firmware keeps alongside:
+
+* ``END_OF_PDU`` -- this buffer completes a PDU (a PDU may span
+  several descriptors in either direction).
+* ``ERROR`` -- receive side: reassembly detected a framing error.
+
+A descriptor occupies four 32-bit words in the dual-port memory
+(address, length, flags, vci), so every read or write of one costs a
+known number of word transactions across the TURBOchannel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim import SimulationError
+
+WORDS_PER_DESCRIPTOR = 4
+
+FLAG_END_OF_PDU = 0x1
+FLAG_ERROR = 0x2
+
+
+@dataclass(frozen=True)
+class Descriptor:
+    """One physical buffer: the unit passed between host and board."""
+
+    addr: int
+    length: int
+    flags: int = 0
+    vci: int = 0
+
+    def __post_init__(self) -> None:
+        if self.addr < 0 or self.addr > 0xFFFFFFFF:
+            raise SimulationError(f"descriptor address {self.addr:#x}")
+        if self.length < 0 or self.length > 0xFFFFFFFF:
+            raise SimulationError(f"descriptor length {self.length}")
+        if self.vci < 0 or self.vci > 0xFFFF:
+            raise SimulationError(f"descriptor vci {self.vci}")
+
+    @property
+    def end_of_pdu(self) -> bool:
+        return bool(self.flags & FLAG_END_OF_PDU)
+
+    @property
+    def error(self) -> bool:
+        return bool(self.flags & FLAG_ERROR)
+
+    def to_words(self) -> tuple[int, int, int, int]:
+        return (self.addr, self.length, self.flags, self.vci)
+
+    @staticmethod
+    def from_words(words: tuple[int, int, int, int]) -> "Descriptor":
+        addr, length, flags, vci = words
+        return Descriptor(addr=addr, length=length, flags=flags, vci=vci)
+
+    def __repr__(self) -> str:
+        marks = "E" if self.end_of_pdu else ""
+        marks += "!" if self.error else ""
+        return (f"Desc(addr={self.addr:#x}, len={self.length}, "
+                f"vci={self.vci}{', ' + marks if marks else ''})")
+
+
+__all__ = [
+    "Descriptor", "WORDS_PER_DESCRIPTOR", "FLAG_END_OF_PDU", "FLAG_ERROR",
+]

@@ -1,0 +1,56 @@
+"""Host interrupt signalling from the OSIRIS board.
+
+Either on-board processor can assert an interrupt to the host.  The
+*discipline* -- when interrupts are asserted -- lives in the processor
+loops (section 2.1.2); this module is just the wire: a small assertion
+delay, per-kind counters, and dispatch into whatever handler the host
+kernel registered.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Optional
+
+from ..sim import Simulator
+
+
+class InterruptKind(enum.Enum):
+    RECEIVE = "receive"                  # receive queue became non-empty
+    TRANSMIT_SPACE = "transmit-space"    # tx queue drained to half empty
+    PROTECTION_VIOLATION = "protection"  # ADC queued an unauthorized page
+
+
+HandlerFn = Callable[[InterruptKind, int], None]
+
+
+class InterruptLine:
+    """The board->host interrupt wire."""
+
+    def __init__(self, sim: Simulator, assert_delay_us: float = 1.0):
+        self.sim = sim
+        self.assert_delay_us = assert_delay_us
+        self._handler: Optional[HandlerFn] = None
+        self.counts: dict[InterruptKind, int] = {
+            kind: 0 for kind in InterruptKind}
+
+    def register_handler(self, handler: HandlerFn) -> None:
+        """Host kernel installs its interrupt handler."""
+        self._handler = handler
+
+    def assert_irq(self, kind: InterruptKind, channel_id: int = 0) -> None:
+        """Board raises an interrupt; the handler runs after the wire
+        delay (interrupt *service* time is charged by the host)."""
+        self.counts[kind] += 1
+        if self._handler is None:
+            return
+        handler = self._handler
+        self.sim.call_after(self.assert_delay_us,
+                            lambda: handler(kind, channel_id))
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+
+__all__ = ["InterruptKind", "InterruptLine"]

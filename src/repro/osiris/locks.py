@@ -1,0 +1,64 @@
+"""Spin-lock over the board's test-and-set register.
+
+The hardware offers one test-and-set register per board half for
+mutually exclusive access to the dual-port memory.  The paper's
+software rejects this design in favour of lock-free queues
+(section 2.1.1); this timed spin-lock exists for the baseline
+comparison in :mod:`repro.baselines.locked_queue`.
+
+Every test-and-set attempt by the host is a word access across the
+TURBOchannel and is charged accordingly; contention therefore costs
+both latency *and* bus bandwidth -- the double penalty the paper
+avoids.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..hw.bus import TurboChannel
+from ..hw.memory import TestAndSetRegister
+from ..sim import Delay, Signal, Simulator
+
+
+class SpinLock:
+    """A timed spin-lock shared by the host CPU and one i960."""
+
+    def __init__(self, sim: Simulator, tc: TurboChannel,
+                 spin_interval_us: float = 0.5, name: str = "spinlock"):
+        self.sim = sim
+        self.tc = tc
+        self.register = TestAndSetRegister()
+        self.spin_interval_us = spin_interval_us
+        self.name = name
+        self._released = Signal(f"{name}.released")
+        self.host_spin_time = 0.0
+        self.board_spin_time = 0.0
+
+    def acquire(self, by_host: bool) -> Generator[Any, Any, None]:
+        """Spin until the register is won.
+
+        The host pays a bus word-read per attempt; the board spins on
+        its local side for free but still burns its own time.
+        """
+        start = self.sim.now
+        while True:
+            if by_host:
+                yield from self.tc.pio_read_words(1)
+            if self.register.test_and_set():
+                break
+            yield Delay(self.spin_interval_us)
+        waited = self.sim.now - start
+        if by_host:
+            self.host_spin_time += waited
+        else:
+            self.board_spin_time += waited
+
+    def release(self, by_host: bool) -> Generator[Any, Any, None]:
+        if by_host:
+            yield from self.tc.pio_write_words(1)
+        self.register.clear()
+        self._released.fire(self)
+
+
+__all__ = ["SpinLock"]

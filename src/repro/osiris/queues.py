@@ -1,0 +1,209 @@
+"""The paper's lock-free one-reader/one-writer descriptor queues.
+
+Section 2.1.1 verbatim: the queue is an array of buffer descriptors
+with a head pointer and a tail pointer in dual-port memory; the head
+is only modified by the writer, the tail only by the reader, and the
+status is derived by comparing them::
+
+    head == tail                 -> queue is empty
+    (head + 1) mod size == tail  -> queue is full
+
+Only 32-bit load/store atomicity is assumed -- exactly what the
+dual-port memory guarantees.  The queue state itself lives *in* the
+simulated :class:`~repro.hw.memory.DualPortMemory`, so every operation
+performs real word accesses whose counts the driver charges against
+the TURBOchannel.
+
+Simulation-only conveniences: ``became_nonempty``/``became_nonfull``
+signals let processes sleep instead of busy-polling; they carry no
+timing and model the real board's tight poll loop (the board polls its
+own side of the dual-port memory for free).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..hw.memory import DualPortMemory
+from ..sim import Signal, SimulationError
+from .descriptors import Descriptor, WORDS_PER_DESCRIPTOR
+
+_HEAD_OFF = 0
+_TAIL_OFF = 4
+_ENTRIES_OFF = 8
+
+
+def queue_region_bytes(entries: int) -> int:
+    """Dual-port bytes occupied by a queue with ``entries`` slots."""
+    return _ENTRIES_OFF + entries * WORDS_PER_DESCRIPTOR * 4
+
+
+class AccessCounter:
+    """Tallies word accesses so callers can charge bus time."""
+
+    __slots__ = ("reads", "writes")
+
+    def __init__(self) -> None:
+        self.reads = 0
+        self.writes = 0
+
+    def reset(self) -> tuple[int, int]:
+        reads, writes = self.reads, self.writes
+        self.reads = 0
+        self.writes = 0
+        return reads, writes
+
+
+class DescriptorQueue:
+    """Lock-free 1R1W FIFO over a region of dual-port memory.
+
+    One side (host or board) is the writer, the other the reader;
+    ``host_is_writer`` fixes which.  The *capacity* is ``size - 1``
+    because of the full test above.
+    """
+
+    def __init__(self, dualport: DualPortMemory, base: int, size: int,
+                 host_is_writer: bool, name: str = "queue"):
+        if size < 2:
+            raise SimulationError("queue size must be at least 2")
+        needed = queue_region_bytes(size)
+        if base % 4 != 0 or base + needed > dualport.size_bytes:
+            raise SimulationError(
+                f"queue region [{base:#x}, +{needed}) does not fit")
+        self.dp = dualport
+        self.base = base
+        self.size = size
+        self.host_is_writer = host_is_writer
+        self.name = name
+        self.host_access = AccessCounter()
+        self.board_access = AccessCounter()
+        self.became_nonempty = Signal(f"{name}.nonempty")
+        self.became_nonfull = Signal(f"{name}.nonfull")
+        self.pushed = Signal(f"{name}.pushed")  # fires on every push
+        self.pushes = 0
+        self.pops = 0
+        self.dp.write_word(base + _HEAD_OFF, 0, by_host=host_is_writer)
+        self.dp.write_word(base + _TAIL_OFF, 0, by_host=not host_is_writer)
+
+    @property
+    def capacity(self) -> int:
+        return self.size - 1
+
+    # -- raw word access with accounting ------------------------------------
+
+    def _counter(self, by_host: bool) -> AccessCounter:
+        return self.host_access if by_host else self.board_access
+
+    def _read(self, offset: int, by_host: bool) -> int:
+        self._counter(by_host).reads += 1
+        return self.dp.read_word(self.base + offset, by_host)
+
+    def _write(self, offset: int, value: int, by_host: bool) -> None:
+        self._counter(by_host).writes += 1
+        self.dp.write_word(self.base + offset, value, by_host)
+
+    # -- status (either side may ask; each access is a word load) -----------
+
+    def head(self, by_host: bool) -> int:
+        return self._read(_HEAD_OFF, by_host)
+
+    def tail(self, by_host: bool) -> int:
+        return self._read(_TAIL_OFF, by_host)
+
+    def is_empty(self, by_host: bool) -> bool:
+        return self.head(by_host) == self.tail(by_host)
+
+    def is_full(self, by_host: bool) -> bool:
+        return (self.head(by_host) + 1) % self.size == self.tail(by_host)
+
+    def occupancy(self, by_host: bool) -> int:
+        head = self.head(by_host)
+        tail = self.tail(by_host)
+        return (head - tail) % self.size
+
+    # -- writer side ---------------------------------------------------------
+
+    def push(self, desc: Descriptor,
+             by_host: Optional[bool] = None) -> bool:
+        """Queue a descriptor; returns False when full.
+
+        Performs: one tail load (full check), one head load, four entry
+        stores, one head store -- all visible in the access counters.
+        Fires ``became_nonempty`` on the empty -> non-empty transition
+        (the condition the receive interrupt discipline keys on).
+        """
+        writer = self.host_is_writer if by_host is None else by_host
+        if writer != self.host_is_writer:
+            raise SimulationError(f"{self.name}: wrong side pushed")
+        head = self._read(_HEAD_OFF, writer)
+        tail = self._read(_TAIL_OFF, writer)
+        if (head + 1) % self.size == tail:
+            return False
+        was_empty = head == tail
+        entry = _ENTRIES_OFF + head * WORDS_PER_DESCRIPTOR * 4
+        for i, word in enumerate(desc.to_words()):
+            self._write(entry + i * 4, word, writer)
+        self._write(_HEAD_OFF, (head + 1) % self.size, writer)
+        self.pushes += 1
+        if was_empty:
+            self.became_nonempty.fire(self)
+        self.pushed.fire(self)
+        return True
+
+    # -- reader side ---------------------------------------------------------
+
+    def pop(self, by_host: Optional[bool] = None) -> Optional[Descriptor]:
+        """Dequeue a descriptor; returns None when empty.
+
+        Fires ``became_nonfull`` on the full -> non-full transition
+        (the condition the transmit-full interrupt keys on).
+        """
+        reader = (not self.host_is_writer) if by_host is None else by_host
+        if reader == self.host_is_writer:
+            raise SimulationError(f"{self.name}: wrong side popped")
+        head = self._read(_HEAD_OFF, reader)
+        tail = self._read(_TAIL_OFF, reader)
+        if head == tail:
+            return None
+        was_full = (head + 1) % self.size == tail
+        entry = _ENTRIES_OFF + tail * WORDS_PER_DESCRIPTOR * 4
+        words = tuple(
+            self._read(entry + i * 4, reader)
+            for i in range(WORDS_PER_DESCRIPTOR))
+        self._write(_TAIL_OFF, (tail + 1) % self.size, reader)
+        self.pops += 1
+        if was_full:
+            self.became_nonfull.fire(self)
+        return Descriptor.from_words(words)  # type: ignore[arg-type]
+
+    def peek(self, by_host: Optional[bool] = None) -> Optional[Descriptor]:
+        """Read the next descriptor without consuming it."""
+        return self.peek_at(0, by_host)
+
+    def peek_at(self, index: int,
+                by_host: Optional[bool] = None) -> Optional[Descriptor]:
+        """Read the ``index``-th queued descriptor without consuming.
+
+        Lets the reader examine a whole multi-descriptor PDU before
+        advancing the tail pointer -- the tail advance is the writer's
+        transmission-complete signal (section 2.1.2), so it must not
+        move until the buffer has actually been transmitted.
+        """
+        reader = (not self.host_is_writer) if by_host is None else by_host
+        head = self._read(_HEAD_OFF, reader)
+        tail = self._read(_TAIL_OFF, reader)
+        if index >= (head - tail) % self.size:
+            return None
+        slot = (tail + index) % self.size
+        entry = _ENTRIES_OFF + slot * WORDS_PER_DESCRIPTOR * 4
+        words = tuple(
+            self._read(entry + i * 4, reader)
+            for i in range(WORDS_PER_DESCRIPTOR))
+        return Descriptor.from_words(words)  # type: ignore[arg-type]
+
+    def __repr__(self) -> str:
+        return (f"DescriptorQueue({self.name!r}, size={self.size}, "
+                f"writer={'host' if self.host_is_writer else 'board'})")
+
+
+__all__ = ["DescriptorQueue", "AccessCounter", "queue_region_bytes"]

@@ -1,0 +1,545 @@
+"""The receive-side i960 loop.
+
+The receive processor reads (VCI, AAL info) for each incoming cell
+from the on-board FIFO, decides where in host memory the payload
+belongs, and issues a DMA command -- typically one per cell (paper,
+section 1).  This module implements that loop with:
+
+* early demultiplexing through the VCI table (sections 3.1/3.2);
+* buffer selection from per-path cached-fbuf pools with fallback to
+  the uncached pool (section 3.1);
+* the double-cell DMA optimisation: the processor looks at two cell
+  headers and combines two payloads destined for contiguous addresses
+  into one 88-byte transaction (section 2.5.1);
+* stop-at-page-boundary bursts (section 2.5.2);
+* all three reassembly strategies of section 2.6 (in-order, sequence
+  numbers, concurrent per-link AAL5);
+* the interrupt discipline of section 2.1.2: one interrupt per
+  receive-queue empty->non-empty transition, or the traditional
+  one-per-PDU as a baseline.
+
+Skew-tolerant modes require full data fidelity and assume PDUs on one
+VCI do not overlap by more than the stripe reorder window (the pure
+algorithms in :mod:`repro.atm.sar` handle unrestricted pipelining and
+are property-tested separately).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional
+
+from ..atm.aal5 import Aal5Error, Reassembler, SegmentMode, encode_pdu
+from ..atm.cell import Cell
+from ..atm.sar import ConcurrentReassembler, SequenceNumberReassembler
+from ..hw.dma import DmaMode
+from ..hw.specs import AAL_PAYLOAD_BYTES
+from ..sim import (
+    Delay, Process, SimulationError, Simulator, Store, spawn,
+)
+from .board import Channel, OsirisBoard
+from .descriptors import Descriptor, FLAG_END_OF_PDU, FLAG_ERROR
+
+
+class InterruptMode(enum.Enum):
+    COALESCED = "coalesced"    # the paper's discipline
+    PER_PDU = "per-pdu"        # traditional baseline
+
+
+@dataclass
+class _Bucket:
+    """One receive buffer holding a slice of the open PDU."""
+
+    desc: Descriptor
+    filled: int = 0
+
+
+class _CountDetector:
+    """Timing-only in-order completion: count cells until the framing
+    bit, no payload reconstruction."""
+
+    def __init__(self) -> None:
+        self.cells = 0
+
+    def push(self, cell: Cell) -> Optional[bool]:
+        self.cells += 1
+        return cell.eom
+
+
+@dataclass
+class _VciState:
+    channel: Channel
+    detector: Any
+    vci: int = 0
+    # In-order placement cursor (bytes into the open PDU's framing).
+    offset: int = 0
+    cells_in_pdu: int = 0
+    base_seq: int = 0
+    link_counts: list[int] = field(default_factory=lambda: [0, 0, 0, 0])
+    buckets: dict[int, _Bucket] = field(default_factory=dict)
+    max_offset_seen: int = 0
+    last_dma: Optional[Process] = None
+    dropping: bool = False
+
+
+@dataclass
+class _Placement:
+    state: _VciState
+    cell: Cell
+    offset: int           # byte offset within the open PDU
+    addr: int             # physical destination address
+    bucket_index: int
+
+
+class RxProcessor:
+    """Receive processor: cells in, filled buffers + interrupts out."""
+
+    def __init__(self, sim: Simulator, board: OsirisBoard,
+                 reassembly_mode: SegmentMode = SegmentMode.IN_ORDER,
+                 interrupt_mode: InterruptMode = InterruptMode.COALESCED,
+                 flow_controlled: bool = False,
+                 stripe_width: int = 4,
+                 combine_wait_us: float = 0.75):
+        if (reassembly_mode is not SegmentMode.IN_ORDER
+                and not board.fidelity.copy_data):
+            raise SimulationError(
+                "skew-tolerant reassembly requires data fidelity")
+        self.sim = sim
+        self.board = board
+        self.reassembly_mode = reassembly_mode
+        self.interrupt_mode = interrupt_mode
+        self.flow_controlled = flow_controlled
+        self.stripe_width = stripe_width
+        self.combine_wait_us = combine_wait_us
+        self.bufsize = board.spec.recv_buffer_bytes
+        self._states: dict[int, _VciState] = {}
+        self._dma_tokens = Store(sim, "rx-dma-tokens")
+        for _ in range(board.spec.rx_dma_queue_depth):
+            self._dma_tokens.try_put(None)
+        self.pdus_received = 0
+        self.pdus_errored = 0
+        self.cells_received = 0
+        self.cells_dropped_no_buffer = 0
+        self.combined_dmas = 0
+        self.single_dmas = 0
+        self.process = spawn(sim, self._run(), "rx-processor")
+
+    # -- main loop ----------------------------------------------------------
+
+    def _run(self) -> Generator[Any, Any, None]:
+        spec = self.board.spec
+        while True:
+            cell = yield self.board.rx_fifo.get()
+            yield Delay(spec.rx_cell_us)
+            first = yield from self._plan(cell)
+            if first is None:
+                continue
+            second = None
+            if self.board.rx_dma.mode is DmaMode.DOUBLE_CELL:
+                second = yield from self._try_combine(first)
+            yield from self._issue_dma(first, second)
+            yield from self._post_dma(first)
+            if second is not None:
+                yield from self._post_dma(second)
+
+    # -- placement ------------------------------------------------------------
+
+    def _state_for(self, cell: Cell) -> Optional[_VciState]:
+        channel_id = self.board.vci_table.get(cell.vci)
+        if channel_id is None:
+            self.board.unknown_vci_drops += 1
+            return None
+        channel = self.board.channels[channel_id]
+        state = self._states.get(cell.vci)
+        if state is None:
+            state = _VciState(channel=channel, vci=cell.vci,
+                              detector=self._new_detector(cell.vci))
+            self._states[cell.vci] = state
+        return state
+
+    def _new_detector(self, vci: int) -> Any:
+        if self.reassembly_mode is SegmentMode.SEQUENCE:
+            return SequenceNumberReassembler(vci)
+        if self.reassembly_mode is SegmentMode.CONCURRENT:
+            return ConcurrentReassembler(vci, self.stripe_width)
+        if self.board.fidelity.copy_data:
+            return Reassembler(vci)
+        return _CountDetector()
+
+    def _cell_offset(self, state: _VciState, cell: Cell) -> int:
+        mode = self.reassembly_mode
+        if mode is SegmentMode.IN_ORDER:
+            return state.offset
+        if mode is SegmentMode.SEQUENCE:
+            if cell.seq is None:
+                raise SimulationError("sequence mode needs numbered cells")
+            return (cell.seq - state.base_seq) * AAL_PAYLOAD_BYTES
+        m = state.link_counts[cell.link_id]
+        return (m * self.stripe_width + cell.link_id) * AAL_PAYLOAD_BYTES
+
+    def _plan(self, cell: Cell) -> Generator[Any, Any, Optional[_Placement]]:
+        """Demux, compute placement, secure a buffer, update counters."""
+        self.cells_received += 1
+        state = self._state_for(cell)
+        if state is None:
+            return None
+        if state.dropping:
+            # Discard the rest of a PDU that lost its buffer.
+            if cell.eom and self.reassembly_mode is SegmentMode.IN_ORDER:
+                state.dropping = False
+                state.detector = self._new_detector(cell.vci)
+                self._reset_pdu(state)
+            return None
+        offset = self._cell_offset(state, cell)
+        bucket_index = offset // self.bufsize
+        bucket = state.buckets.get(bucket_index)
+        if bucket is None:
+            bucket = yield from self._allocate_bucket(state, cell,
+                                                      bucket_index)
+            if bucket is None:
+                return None
+        addr = bucket.desc.addr + (offset % self.bufsize)
+        # Advance per-mode cursors.
+        if self.reassembly_mode is SegmentMode.IN_ORDER:
+            state.offset += AAL_PAYLOAD_BYTES
+        elif self.reassembly_mode is SegmentMode.CONCURRENT:
+            state.link_counts[cell.link_id] += 1
+        state.cells_in_pdu += 1
+        state.max_offset_seen = max(state.max_offset_seen,
+                                    offset + AAL_PAYLOAD_BYTES)
+        bucket.filled += AAL_PAYLOAD_BYTES
+        return _Placement(state=state, cell=cell, offset=offset,
+                          addr=addr, bucket_index=bucket_index)
+
+    def _allocate_bucket(self, state: _VciState, cell: Cell,
+                         bucket_index: int
+                         ) -> Generator[Any, Any, Optional[_Bucket]]:
+        channel = state.channel
+        while True:
+            desc = self.board.take_receive_buffer(channel, cell.vci)
+            if desc is not None:
+                if desc.length != self.bufsize:
+                    raise SimulationError(
+                        f"receive buffer of {desc.length} bytes; the "
+                        f"board expects uniform {self.bufsize}")
+                bucket = _Bucket(desc=desc)
+                state.buckets[bucket_index] = bucket
+                return bucket
+            if not self.flow_controlled:
+                self.cells_dropped_no_buffer += 1
+                channel.cells_dropped += 1
+                if self.reassembly_mode is SegmentMode.IN_ORDER:
+                    state.dropping = not cell.eom
+                    state.detector = self._new_detector(cell.vci)
+                    if cell.eom:
+                        self._reset_pdu(state)
+                    else:
+                        self._discard_open_buffers(state)
+                return None
+            # Flow-controlled source: wait for the host to feed buffers.
+            yield channel.free_queue.became_nonempty
+
+    def _discard_open_buffers(self, state: _VciState) -> None:
+        for bucket in state.buckets.values():
+            state.channel.anon_pool.append(bucket.desc)
+        state.buckets.clear()
+
+    # -- double-cell combining ---------------------------------------------------
+
+    def _try_combine(self, first: _Placement
+                     ) -> Generator[Any, Any, Optional[_Placement]]:
+        """Peek the next FIFO cell; combine when its payload lands
+        immediately after the first (section 2.5.1)."""
+        if first.cell.eom:
+            return None
+        items = self.board.rx_fifo.items
+        if not items:
+            # The successor may be one cell-time behind on the wire;
+            # waiting for its header costs less than a separate DMA's
+            # overhead, so the firmware holds briefly.
+            yield Delay(self.combine_wait_us)
+            items = self.board.rx_fifo.items
+            if not items:
+                return None
+        nxt: Cell = items[0]
+        if nxt.vci != first.cell.vci:
+            return None
+        if not self._is_contiguous(first, nxt):
+            return None
+        # Both payloads must fit in one burst in the same buffer/page.
+        if (first.offset % self.bufsize) + 2 * AAL_PAYLOAD_BYTES > \
+                self.bufsize:
+            return None
+        if self.board.rx_dma.max_burst(first.addr, 2 * AAL_PAYLOAD_BYTES) \
+                < 2 * AAL_PAYLOAD_BYTES:
+            return None
+        ok, cell = self.board.rx_fifo.try_get()
+        assert ok and cell is nxt
+        yield Delay(self.board.spec.rx_cell_us)
+        second = yield from self._plan(cell)
+        return second
+
+    def _is_contiguous(self, first: _Placement, nxt: Cell) -> bool:
+        mode = self.reassembly_mode
+        if mode is SegmentMode.IN_ORDER:
+            return True  # in-order cells on one VCI are consecutive
+        if mode is SegmentMode.SEQUENCE:
+            return (nxt.seq is not None and first.cell.seq is not None
+                    and nxt.seq == first.cell.seq + 1)
+        state = first.state
+        expected = self._cell_offset(state, nxt)
+        return expected == first.offset + AAL_PAYLOAD_BYTES
+
+    # -- DMA ------------------------------------------------------------------
+
+    def _issue_dma(self, first: _Placement,
+                   second: Optional[_Placement]
+                   ) -> Generator[Any, Any, None]:
+        if second is not None:
+            data = None
+            if self.board.fidelity.copy_data:
+                data = first.cell.payload + second.cell.payload
+            self.combined_dmas += 1
+            proc = yield from self._spawn_dma(first.addr, data,
+                                              2 * AAL_PAYLOAD_BYTES)
+            first.state.last_dma = proc
+        else:
+            data = (first.cell.payload
+                    if self.board.fidelity.copy_data else None)
+            self.single_dmas += 1
+            proc = yield from self._spawn_dma(first.addr, data,
+                                              AAL_PAYLOAD_BYTES)
+            first.state.last_dma = proc
+
+    def _spawn_dma(self, addr: int, data: Optional[bytes], nbytes: int
+                   ) -> Generator[Any, Any, Process]:
+        """Issue a DMA command; blocks only when the command queue is
+        full (the engine runs concurrently with cell processing)."""
+        yield self._dma_tokens.get()
+
+        def dma_task() -> Generator[Any, Any, None]:
+            # The controller stops at page boundaries and waits for a
+            # continuation address (section 2.5.2), so a payload that
+            # straddles a boundary costs two transactions.
+            pos = addr
+            left = nbytes
+            offset = 0
+            while left > 0:
+                burst = self.board.rx_dma.max_burst(pos, left)
+                chunk = (data[offset:offset + burst]
+                         if data is not None else None)
+                yield from self.board.rx_dma.write_host(
+                    pos, data=chunk, nbytes=burst)
+                pos += burst
+                offset += burst
+                left -= burst
+            self._dma_tokens.try_put(None)
+
+        return spawn(self.sim, dma_task(), "rx-dma")
+
+    # -- completion ----------------------------------------------------------------
+
+    def _post_dma(self, placement: _Placement
+                  ) -> Generator[Any, Any, None]:
+        state = placement.state
+        cell = placement.cell
+        try:
+            result = state.detector.push(
+                cell, cell.link_id) \
+                if self.reassembly_mode is SegmentMode.CONCURRENT \
+                else state.detector.push(cell)
+        except Aal5Error:
+            self.pdus_errored += 1
+            yield from self._deliver_pdu(state, error=True)
+            return
+        completed = self._completed(result)
+        if completed:
+            yield from self._deliver_pdu(state, error=False)
+        elif self.reassembly_mode is SegmentMode.IN_ORDER:
+            # 'When the buffer is filled ... the processor adds the
+            # buffer to the receive queue' (section 2.1.1): hand over
+            # buffers the PDU has grown past without waiting for the
+            # end of the PDU.
+            yield from self._deliver_filled_buckets(
+                state, placement.bucket_index)
+
+    def _completed(self, result: Any) -> bool:
+        if result is None or result is False:
+            return False
+        if result is True:
+            return True
+        if isinstance(result, bytes):
+            return True
+        if isinstance(result, list):
+            return len(result) > 0
+        return False
+
+    def _deliver_filled_buckets(self, state: _VciState,
+                                current_index: int
+                                ) -> Generator[Any, Any, None]:
+        ready = [i for i in sorted(state.buckets) if i < current_index]
+        if not ready:
+            return
+        if state.last_dma is not None and not state.last_dma.done:
+            yield state.last_dma
+        for index in ready:
+            bucket = state.buckets.pop(index)
+            desc = Descriptor(addr=bucket.desc.addr, length=self.bufsize,
+                              flags=0, vci=state.vci)
+            yield from self._enqueue_received(state.channel, desc)
+
+    def _deliver_pdu(self, state: _VciState,
+                     error: bool) -> Generator[Any, Any, None]:
+        """PDU complete: wait for its last DMA, enqueue buffers, maybe
+        interrupt, reset per-PDU state."""
+        spec = self.board.spec
+        yield Delay(spec.rx_pdu_overhead_us)
+        if state.last_dma is not None and not state.last_dma.done:
+            yield state.last_dma
+        channel = state.channel
+        total = state.max_offset_seen
+        indices = sorted(state.buckets)
+        for position, index in enumerate(indices):
+            bucket = state.buckets[index]
+            start = index * self.bufsize
+            length = min(self.bufsize, total - start)
+            flags = 0
+            if position == len(indices) - 1:
+                flags |= FLAG_END_OF_PDU
+            if error:
+                flags |= FLAG_ERROR
+            desc = Descriptor(addr=bucket.desc.addr, length=length,
+                              flags=flags, vci=state.vci)
+            yield from self._enqueue_received(channel, desc)
+        channel.pdus_received += 1
+        self.pdus_received += 1
+        self._reset_pdu(state)
+
+    def _enqueue_received(self, channel: Channel,
+                          desc: Descriptor) -> Generator[Any, Any, None]:
+        queue = channel.recv_queue
+        while True:
+            was_empty = queue.is_empty(by_host=False)
+            if queue.push(desc, by_host=False):
+                if self.interrupt_mode is InterruptMode.PER_PDU:
+                    if desc.end_of_pdu:
+                        self.board.raise_receive_irq(channel)
+                elif was_empty:
+                    self.board.raise_receive_irq(channel)
+                return
+            if self.flow_controlled:
+                yield queue.became_nonfull
+            else:
+                # Host overrun: drop and recycle the buffer on-board.
+                channel.anon_pool.append(
+                    Descriptor(addr=desc.addr, length=self.bufsize))
+                channel.cells_dropped += 1
+                return
+
+    def _reset_pdu(self, state: _VciState) -> None:
+        state.offset = 0
+        state.cells_in_pdu = 0
+        state.max_offset_seen = 0
+        state.buckets.clear()
+        state.link_counts = [0] * self.stripe_width
+        if self.reassembly_mode is SegmentMode.SEQUENCE:
+            reasm: SequenceNumberReassembler = state.detector
+            state.base_seq = reasm.next_seq
+
+
+class FramedPduSource:
+    """Fictitious-PDU generator fed with explicit PDU contents.
+
+    Used by the figure 2/3 harness: the PDUs are the IP fragments a
+    sending host's stack would have produced (UDP/IP headers included),
+    so the receiving host runs its full protocol path.  The list is
+    replayed ``repeat`` times at link cell pace.
+    """
+
+    def __init__(self, sim: Simulator, board: OsirisBoard, vci: int,
+                 pdus: list[bytes], repeat: int,
+                 cell_pace_us: float = 0.682):
+        self.sim = sim
+        self.board = board
+        self.vci = vci
+        self.repeat = repeat
+        self.cell_pace_us = cell_pace_us
+        self.rounds_generated = 0
+        if board.fidelity.copy_data:
+            self._framed = [encode_pdu(p) for p in pdus]
+        else:
+            from ..atm.aal5 import framed_size
+            self._framed = [b"\x00" * framed_size(len(p)) for p in pdus]
+        self.process = spawn(sim, self._run(), "framed-source")
+
+    def _run(self) -> Generator[Any, Any, None]:
+        copy = self.board.fidelity.copy_data
+        for _ in range(self.repeat):
+            for framed in self._framed:
+                n = len(framed) // AAL_PAYLOAD_BYTES
+                for i in range(n):
+                    payload = (framed[i * AAL_PAYLOAD_BYTES:
+                                      (i + 1) * AAL_PAYLOAD_BYTES]
+                               if copy else b"")
+                    cell = Cell(vci=self.vci, payload=payload,
+                                eom=(i == n - 1), tx_index=i)
+                    yield Delay(self.cell_pace_us)
+                    yield self.board.rx_fifo.put(cell)
+            self.rounds_generated += 1
+
+
+class FictitiousPduSource:
+    """The receive-side isolation workload of section 4.
+
+    'The receiver processor of the OSIRIS board was programmed to
+    generate fictitious PDUs as fast as the receiving host could
+    absorb them.'  Cells are synthesized at the striped link's
+    aggregate cell rate (0.682 us per cell -> 516 Mbps of payload) and
+    pushed through the normal receive FIFO; the bounded FIFO provides
+    the absorb-rate flow control.
+    """
+
+    def __init__(self, sim: Simulator, board: OsirisBoard, vci: int,
+                 pdu_bytes: int, pdu_count: int,
+                 cell_pace_us: float = 0.682):
+        self.sim = sim
+        self.board = board
+        self.vci = vci
+        self.pdu_bytes = pdu_bytes
+        self.pdu_count = pdu_count
+        self.cell_pace_us = cell_pace_us
+        self.pdus_generated = 0
+        if board.fidelity.copy_data:
+            pattern = (b"OSIRIS!" * (pdu_bytes // 7 + 1))[:pdu_bytes]
+            self._framed = encode_pdu(pattern)
+        else:
+            from ..atm.aal5 import framed_size
+            self._framed = None
+            self._framed_len = framed_size(pdu_bytes)
+        self.process = spawn(sim, self._run(), "fictitious-source")
+
+    def _cells(self):
+        if self._framed is not None:
+            n = len(self._framed) // AAL_PAYLOAD_BYTES
+        else:
+            n = self._framed_len // AAL_PAYLOAD_BYTES
+        for i in range(n):
+            if self._framed is not None:
+                payload = self._framed[i * AAL_PAYLOAD_BYTES:
+                                       (i + 1) * AAL_PAYLOAD_BYTES]
+            else:
+                payload = b""
+            yield Cell(vci=self.vci, payload=payload, eom=(i == n - 1),
+                       tx_index=i)
+
+    def _run(self) -> Generator[Any, Any, None]:
+        for _ in range(self.pdu_count):
+            for cell in self._cells():
+                yield Delay(self.cell_pace_us)
+                yield self.board.rx_fifo.put(cell)
+            self.pdus_generated += 1
+
+
+__all__ = ["RxProcessor", "InterruptMode", "FictitiousPduSource",
+           "FramedPduSource"]

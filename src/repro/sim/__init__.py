@@ -1,0 +1,21 @@
+"""Discrete-event simulation kernel used by every model in the library."""
+
+from .core import SimulationError, Simulator, Timer
+from .fidelity import Fidelity
+from .process import (
+    Delay, Interrupted, Latch, Process, Signal, all_of, spawn,
+)
+from .resources import Grant, Resource, Store
+from .trace import Counter, Series, Throughput, mbps_from_bytes
+from .tracing import (
+    TraceRecord, Tracer, attach_board_tracer, attach_driver_tracer,
+)
+
+__all__ = [
+    "Simulator", "SimulationError", "Timer",
+    "Delay", "Signal", "Latch", "Process", "Interrupted", "spawn", "all_of",
+    "Resource", "Grant", "Store",
+    "Counter", "Series", "Throughput", "mbps_from_bytes",
+    "Tracer", "TraceRecord", "attach_board_tracer", "attach_driver_tracer",
+    "Fidelity",
+]

@@ -1,0 +1,175 @@
+"""Discrete-event simulation core.
+
+The engine keeps a priority queue of timestamped callbacks.  Everything
+else in the library (bus transactions, on-board processors, interrupt
+handlers, protocol threads) is built on top of this single event loop,
+either directly via :meth:`Simulator.call_at` or through the
+generator-based processes in :mod:`repro.sim.process`.
+
+Time is measured in **microseconds** throughout the library.  The paper
+reasons about costs in microseconds and 40 ns bus cycles, so a float
+microsecond clock gives comfortable resolution (a 25 MHz cycle is
+0.04 us) without the bookkeeping of integer picoseconds.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation engine."""
+
+
+@dataclass(order=True)
+class _Entry:
+    """A scheduled callback, ordered by (time, sequence)."""
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class Timer:
+    """Handle for a scheduled callback; supports cancellation."""
+
+    __slots__ = ("_entry",)
+
+    def __init__(self, entry: _Entry):
+        self._entry = entry
+
+    @property
+    def time(self) -> float:
+        """Absolute simulation time at which the callback fires."""
+        return self._entry.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._entry.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (idempotent)."""
+        self._entry.cancelled = True
+
+
+class Simulator:
+    """The event loop.
+
+    A single :class:`Simulator` instance is shared by every component of
+    one experiment.  Components schedule work with :meth:`call_at` /
+    :meth:`call_after` and the experiment driver advances time with
+    :meth:`run` or :meth:`run_until`.
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[_Entry] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._running = False
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in microseconds."""
+        return self._now
+
+    def call_at(self, time: float, callback: Callable[[], None]) -> Timer:
+        """Schedule ``callback`` at absolute simulation ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past ({time} < {self._now})"
+            )
+        entry = _Entry(time, next(self._seq), callback)
+        heapq.heappush(self._queue, entry)
+        return Timer(entry)
+
+    def call_after(self, delay: float, callback: Callable[[], None]) -> Timer:
+        """Schedule ``callback`` after ``delay`` microseconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.call_at(self._now + delay, callback)
+
+    def call_now(self, callback: Callable[[], None]) -> Timer:
+        """Schedule ``callback`` at the current time (after pending events)."""
+        return self.call_at(self._now, callback)
+
+    @property
+    def pending(self) -> int:
+        """Number of queued (possibly cancelled) entries."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def peek(self) -> Optional[float]:
+        """Time of the next live event, or ``None`` if the queue is empty."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        if not self._queue:
+            return None
+        return self._queue[0].time
+
+    def step(self) -> bool:
+        """Run the single next event.  Returns False when queue is empty."""
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            if entry.cancelled:
+                continue
+            self._now = entry.time
+            self.events_processed += 1
+            entry.callback()
+            return True
+        return False
+
+    def run(self, max_events: Optional[int] = None) -> None:
+        """Run until the event queue drains (or ``max_events`` fire)."""
+        if self._running:
+            raise SimulationError("simulator is already running")
+        self._running = True
+        try:
+            count = 0
+            while self.step():
+                count += 1
+                if max_events is not None and count >= max_events:
+                    return
+        finally:
+            self._running = False
+
+    def run_until(self, time: float) -> None:
+        """Run events with timestamps <= ``time``; advance clock to ``time``."""
+        if self._running:
+            raise SimulationError("simulator is already running")
+        self._running = True
+        try:
+            while True:
+                nxt = self.peek()
+                if nxt is None or nxt > time:
+                    break
+                self.step()
+            self._now = max(self._now, time)
+        finally:
+            self._running = False
+
+    def run_while(self, predicate: Callable[[], bool],
+                  max_events: int = 50_000_000) -> None:
+        """Run while ``predicate()`` is true and events remain."""
+        if self._running:
+            raise SimulationError("simulator is already running")
+        self._running = True
+        try:
+            count = 0
+            while predicate():
+                if not self.step():
+                    return
+                count += 1
+                if count >= max_events:
+                    raise SimulationError(
+                        f"run_while exceeded {max_events} events; "
+                        "likely a livelock in the model"
+                    )
+        finally:
+            self._running = False
+
+
+__all__ = ["Simulator", "SimulationError", "Timer"]

@@ -1,0 +1,41 @@
+"""Fidelity switches for expensive model features.
+
+Timing fidelity is always on; *data* fidelity (moving real payload
+bytes, tag-accurate cache contents) is optional because the long
+throughput sweeps do not need it.  Tests run with full fidelity so that
+correctness properties (checksums detect stale cache data, reassembly
+reproduces the transmitted bytes) are exercised for real.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Fidelity:
+    """Configuration of model fidelity.
+
+    Attributes:
+        copy_data: move actual payload bytes through simulated memory and
+            compute real CRCs/checksums over them.
+        track_cache_lines: keep a tag-and-contents cache model so that
+            stale reads after non-coherent DMA return genuinely stale
+            bytes (needed by the lazy-invalidation experiments).
+    """
+
+    copy_data: bool = True
+    track_cache_lines: bool = True
+
+    @staticmethod
+    def full() -> "Fidelity":
+        """Byte-accurate everything (default for tests and examples)."""
+        return Fidelity(copy_data=True, track_cache_lines=True)
+
+    @staticmethod
+    def timing_only() -> "Fidelity":
+        """Timing-accurate, data-free (used by long benchmark sweeps)."""
+        return Fidelity(copy_data=False, track_cache_lines=False)
+
+
+__all__ = ["Fidelity"]

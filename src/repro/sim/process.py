@@ -1,0 +1,218 @@
+"""Generator-based simulation processes.
+
+A *process* is a Python generator that yields *commands* to the process
+kernel.  This mirrors how the real system is structured: the on-board
+i960 loops, the host interrupt handlers and the driver threads of the
+paper all become processes that explicitly spend simulated time.
+
+Supported commands (anything a process may ``yield``):
+
+* :class:`Delay` -- advance simulated time.
+* :class:`Signal` (yield it directly) -- block until the signal fires;
+  the value passed to :meth:`Signal.fire` becomes the yield's value.
+* :class:`Process` (yield it directly) -- join another process; its
+  return value becomes the yield's value.
+* ``None`` -- reschedule immediately (a cooperative yield point).
+
+Resources (:mod:`repro.sim.resources`) provide further awaitables.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from .core import SimulationError, Simulator
+
+ProcessGen = Generator[Any, Any, Any]
+
+
+class Delay:
+    """Command: suspend the process for ``duration`` microseconds."""
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: float):
+        if duration < 0:
+            raise SimulationError(f"negative delay {duration}")
+        self.duration = duration
+
+    def __repr__(self) -> str:
+        return f"Delay({self.duration})"
+
+
+class Signal:
+    """A broadcast wake-up point.
+
+    Processes that yield a Signal block until :meth:`fire` is called;
+    all current waiters wake with the fired value.  A Signal has no
+    memory: firing with no waiters is a no-op (see :class:`Latch` for
+    the sticky variant).
+    """
+
+    def __init__(self, name: str = "signal"):
+        self.name = name
+        self._waiters: list[Callable[[Any], None]] = []
+        self._subscribers: list[Callable[[Any], None]] = []
+        self.fire_count = 0
+
+    @property
+    def waiter_count(self) -> int:
+        return len(self._waiters)
+
+    def _add_waiter(self, resume: Callable[[Any], None]) -> None:
+        self._waiters.append(resume)
+
+    def subscribe(self, callback: Callable[[Any], None]) -> None:
+        """Register a persistent callback invoked on every fire."""
+        self._subscribers.append(callback)
+
+    def fire(self, value: Any = None) -> int:
+        """Wake all waiters; returns how many were woken."""
+        self.fire_count += 1
+        waiters, self._waiters = self._waiters, []
+        for resume in waiters:
+            resume(value)
+        for callback in list(self._subscribers):
+            callback(value)
+        return len(waiters)
+
+    def __repr__(self) -> str:
+        return f"Signal({self.name!r}, waiters={len(self._waiters)})"
+
+
+class Latch(Signal):
+    """A sticky signal: once fired, subsequent waits return immediately."""
+
+    def __init__(self, name: str = "latch"):
+        super().__init__(name)
+        self.fired = False
+        self.value: Any = None
+
+    def _add_waiter(self, resume: Callable[[Any], None]) -> None:
+        if self.fired:
+            resume(self.value)
+        else:
+            super()._add_waiter(resume)
+
+    def fire(self, value: Any = None) -> int:
+        self.fired = True
+        self.value = value
+        return super().fire(value)
+
+
+class Interrupted(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process:
+    """A running generator, driven by the simulator.
+
+    Yielding a Process from another process joins it.  The generator's
+    ``return`` value is exposed as :attr:`result` once :attr:`done`.
+    """
+
+    def __init__(self, sim: Simulator, gen: ProcessGen, name: str = "proc"):
+        self.sim = sim
+        self.name = name
+        self._gen = gen
+        self.done = False
+        self.failed = False
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self._done_latch = Latch(f"{name}.done")
+        self._pending_timer = None
+        sim.call_now(lambda: self._step(None))
+
+    def _add_waiter(self, resume: Callable[[Any], None]) -> None:
+        # Duck-typed with Signal so `yield process` joins it.
+        self._done_latch._add_waiter(resume)
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupted` into the process at its yield point."""
+        if self.done:
+            return
+        if self._pending_timer is not None:
+            self._pending_timer.cancel()
+            self._pending_timer = None
+        self._throw(Interrupted(cause))
+
+    def _throw(self, exc: BaseException) -> None:
+        try:
+            command = self._gen.throw(exc)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except Interrupted:
+            self._finish(None)
+            return
+        except BaseException as err:  # propagate model bugs loudly
+            self._fail(err)
+            raise
+        self._dispatch(command)
+
+    def _step(self, value: Any) -> None:
+        self._pending_timer = None
+        try:
+            command = self._gen.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except BaseException as err:
+            self._fail(err)
+            raise
+        self._dispatch(command)
+
+    def _dispatch(self, command: Any) -> None:
+        if command is None:
+            self._pending_timer = self.sim.call_now(lambda: self._step(None))
+        elif isinstance(command, Delay):
+            self._pending_timer = self.sim.call_after(
+                command.duration, lambda: self._step(None))
+        elif hasattr(command, "_add_waiter"):
+            command._add_waiter(self._step)
+        else:
+            err = SimulationError(
+                f"process {self.name!r} yielded unsupported {command!r}")
+            self._fail(err)
+            raise err
+
+    def _finish(self, result: Any) -> None:
+        self.done = True
+        self.result = result
+        self._done_latch.fire(result)
+
+    def _fail(self, err: BaseException) -> None:
+        self.done = True
+        self.failed = True
+        self.error = err
+        self._done_latch.fire(None)
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else "running"
+        return f"Process({self.name!r}, {state})"
+
+
+def spawn(sim: Simulator, gen: ProcessGen, name: str = "proc") -> Process:
+    """Start ``gen`` as a process on ``sim``."""
+    return Process(sim, gen, name)
+
+
+def all_of(sim: Simulator, processes: Iterable[Process]) -> Process:
+    """A process that completes when every process in the list has."""
+
+    def waiter() -> ProcessGen:
+        results = []
+        for proc in processes:
+            results.append((yield proc))
+        return results
+
+    return spawn(sim, waiter(), "all_of")
+
+
+__all__ = [
+    "Delay", "Signal", "Latch", "Process", "Interrupted", "spawn", "all_of",
+]

@@ -1,0 +1,252 @@
+"""Timed resources for simulation processes.
+
+:class:`Resource` models a server with finite capacity and a FIFO (or
+priority) wait queue -- the TURBOchannel bus, a DMA engine, or a CPU are
+all capacity-1 resources.  :class:`Store` is a producer/consumer channel
+used for cell pipes and inter-process queues.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Optional
+
+from .core import SimulationError, Simulator
+from .process import Delay
+
+
+class Grant:
+    """A held unit of a resource; release exactly once."""
+
+    __slots__ = ("resource", "released", "acquired_at")
+
+    def __init__(self, resource: "Resource", acquired_at: float):
+        self.resource = resource
+        self.released = False
+        self.acquired_at = acquired_at
+
+    def release(self) -> None:
+        if self.released:
+            raise SimulationError("double release of resource grant")
+        self.released = True
+        self.resource._on_release(self)
+
+
+class _Request:
+    """Awaitable command produced by :meth:`Resource.request`."""
+
+    __slots__ = ("resource", "priority", "seq", "_resume")
+
+    def __init__(self, resource: "Resource", priority: float, seq: int):
+        self.resource = resource
+        self.priority = priority
+        self.seq = seq
+        self._resume: Optional[Callable[[Any], None]] = None
+
+    def _add_waiter(self, resume: Callable[[Any], None]) -> None:
+        self._resume = resume
+        self.resource._enqueue(self)
+
+    def __lt__(self, other: "_Request") -> bool:
+        return (self.priority, self.seq) < (other.priority, other.seq)
+
+
+class Resource:
+    """Finite-capacity resource with priority/FIFO queueing.
+
+    Statistics (:attr:`busy_time`, :attr:`grants`) feed utilisation
+    reports in the benchmark harness.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "resource",
+                 capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError("resource capacity must be >= 1")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiting: list[_Request] = []
+        self._seq = itertools.count()
+        self.busy_time = 0.0
+        self.grants = 0
+        self._busy_since: Optional[float] = None
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiting)
+
+    def request(self, priority: float = 0.0) -> _Request:
+        """Awaitable: yields a :class:`Grant` once capacity is available.
+
+        Lower ``priority`` values are served first; ties are FIFO.
+        """
+        return _Request(self, priority, next(self._seq))
+
+    def use(self, duration: float,
+            priority: float = 0.0) -> Generator[Any, Any, None]:
+        """Subroutine: acquire, hold ``duration`` microseconds, release.
+
+        Use as ``yield from resource.use(t)`` inside a process.
+        """
+        grant = yield self.request(priority)
+        try:
+            yield Delay(duration)
+        finally:
+            grant.release()
+
+    def _enqueue(self, request: _Request) -> None:
+        if self._in_use < self.capacity:
+            self._grant(request)
+        else:
+            heapq.heappush(self._waiting, request)
+
+    def _grant(self, request: _Request) -> None:
+        self._in_use += 1
+        self.grants += 1
+        if self._busy_since is None:
+            self._busy_since = self.sim.now
+        grant = Grant(self, self.sim.now)
+        assert request._resume is not None
+        request._resume(grant)
+
+    def _on_release(self, grant: Grant) -> None:
+        self._in_use -= 1
+        if self._in_use == 0 and self._busy_since is not None:
+            self.busy_time += self.sim.now - self._busy_since
+            self._busy_since = None
+        if self._waiting and self._in_use < self.capacity:
+            self._grant(heapq.heappop(self._waiting))
+
+    def utilization(self, elapsed: Optional[float] = None) -> float:
+        """Fraction of time the resource was busy (any units in use)."""
+        busy = self.busy_time
+        if self._busy_since is not None:
+            busy += self.sim.now - self._busy_since
+        total = elapsed if elapsed is not None else self.sim.now
+        if total <= 0:
+            return 0.0
+        return busy / total
+
+    def __repr__(self) -> str:
+        return (f"Resource({self.name!r}, {self._in_use}/{self.capacity} "
+                f"in use, {len(self._waiting)} waiting)")
+
+
+class _Get:
+    __slots__ = ("store", "_resume")
+
+    def __init__(self, store: "Store"):
+        self.store = store
+        self._resume: Optional[Callable[[Any], None]] = None
+
+    def _add_waiter(self, resume: Callable[[Any], None]) -> None:
+        self._resume = resume
+        self.store._enqueue_get(self)
+
+
+class _Put:
+    __slots__ = ("store", "item", "_resume")
+
+    def __init__(self, store: "Store", item: Any):
+        self.store = store
+        self.item = item
+        self._resume: Optional[Callable[[Any], None]] = None
+
+    def _add_waiter(self, resume: Callable[[Any], None]) -> None:
+        self._resume = resume
+        self.store._enqueue_put(self)
+
+
+class Store:
+    """FIFO channel between processes, with optional capacity bound.
+
+    ``yield store.get()`` blocks until an item is available;
+    ``yield store.put(item)`` blocks while the store is full.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "store",
+                 capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise SimulationError("store capacity must be >= 1 or None")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._items: list[Any] = []
+        self._getters: list[_Get] = []
+        self._putters: list[_Put] = []
+        self.total_put = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> tuple:
+        return tuple(self._items)
+
+    def get(self) -> _Get:
+        return _Get(self)
+
+    def put(self, item: Any) -> _Put:
+        return _Put(self, item)
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; returns False when full."""
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            return False
+        self._deposit(item)
+        return True
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking get; returns (ok, item)."""
+        if not self._items:
+            return False, None
+        item = self._items.pop(0)
+        self._admit_putter()
+        return True, item
+
+    def _deposit(self, item: Any) -> None:
+        self.total_put += 1
+        if self._getters:
+            getter = self._getters.pop(0)
+            assert getter._resume is not None
+            getter._resume(item)
+        else:
+            self._items.append(item)
+
+    def _admit_putter(self) -> None:
+        if self._putters and (self.capacity is None
+                              or len(self._items) < self.capacity):
+            putter = self._putters.pop(0)
+            self._deposit(putter.item)
+            assert putter._resume is not None
+            putter._resume(None)
+
+    def _enqueue_get(self, getter: _Get) -> None:
+        if self._items:
+            item = self._items.pop(0)
+            assert getter._resume is not None
+            getter._resume(item)
+            self._admit_putter()
+        else:
+            self._getters.append(getter)
+
+    def _enqueue_put(self, putter: _Put) -> None:
+        if self.capacity is None or len(self._items) < self.capacity:
+            self._deposit(putter.item)
+            assert putter._resume is not None
+            putter._resume(None)
+        else:
+            self._putters.append(putter)
+
+    def __repr__(self) -> str:
+        return (f"Store({self.name!r}, {len(self._items)} items, "
+                f"{len(self._getters)} getters, {len(self._putters)} putters)")
+
+
+__all__ = ["Resource", "Grant", "Store"]

@@ -1,0 +1,126 @@
+"""Measurement helpers: counters, time series, and rate meters.
+
+The benchmark harness reads these monitors after a run to produce the
+paper-style tables and figure series.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional
+
+from .core import Simulator
+
+
+class Counter:
+    """A named monotonically increasing event counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}={self.value})"
+
+
+class Series:
+    """An append-only (time, value) series."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.times: list[float] = []
+        self.values: list[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def mean(self) -> float:
+        if not self.values:
+            return float("nan")
+        return sum(self.values) / len(self.values)
+
+    def stdev(self) -> float:
+        n = len(self.values)
+        if n < 2:
+            return 0.0
+        mu = self.mean()
+        return math.sqrt(sum((v - mu) ** 2 for v in self.values) / (n - 1))
+
+    def percentile(self, pct: float) -> float:
+        if not self.values:
+            return float("nan")
+        ordered = sorted(self.values)
+        k = (len(ordered) - 1) * pct / 100.0
+        lo = math.floor(k)
+        hi = math.ceil(k)
+        if lo == hi:
+            return ordered[int(k)]
+        return ordered[lo] * (hi - k) + ordered[hi] * (k - lo)
+
+
+class Throughput:
+    """Byte meter that converts to Mbps over a measured window."""
+
+    def __init__(self, sim: Simulator, name: str = "throughput"):
+        self.sim = sim
+        self.name = name
+        self.bytes = 0
+        self.messages = 0
+        self._window_start: Optional[float] = None
+        self._window_bytes_base = 0
+        self._window_messages_base = 0
+
+    def account(self, nbytes: int) -> None:
+        self.bytes += nbytes
+        self.messages += 1
+
+    def open_window(self) -> None:
+        """Start the measurement window (skip warm-up traffic)."""
+        self._window_start = self.sim.now
+        self._window_bytes_base = self.bytes
+        self._window_messages_base = self.messages
+
+    @property
+    def window_bytes(self) -> int:
+        return self.bytes - self._window_bytes_base
+
+    @property
+    def window_messages(self) -> int:
+        return self.messages - self._window_messages_base
+
+    def mbps(self, end_time: Optional[float] = None) -> float:
+        """Megabits per second over the open window (or since t=0)."""
+        start = self._window_start if self._window_start is not None else 0.0
+        end = end_time if end_time is not None else self.sim.now
+        elapsed = end - start
+        if elapsed <= 0:
+            return 0.0
+        return self.window_bytes * 8.0 / elapsed  # bytes/us * 8 == Mbps
+
+
+def mbps_from_bytes(nbytes: int, elapsed_us: float) -> float:
+    """Convert a byte count over an interval in microseconds to Mbps."""
+    if elapsed_us <= 0:
+        return 0.0
+    return nbytes * 8.0 / elapsed_us
+
+
+def mean(values: Iterable[float]) -> float:
+    data = list(values)
+    if not data:
+        return float("nan")
+    return sum(data) / len(data)
+
+
+__all__ = [
+    "Counter", "Series", "Throughput", "mbps_from_bytes", "mean",
+]

@@ -1,0 +1,164 @@
+"""Event tracing: timestamped records for post-mortem analysis.
+
+A :class:`Tracer` collects (time, component, event, detail) records
+from instrumented components and renders them as a text timeline.
+Tracing is opt-in and zero-cost when disabled; the hook points on the
+board and driver are the ones a developer debugging an OSIRIS-like
+system actually needs -- cell arrival, DMA issue, queue transitions,
+interrupts, PDU hand-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
+
+from .core import Simulator
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    time: float
+    component: str
+    event: str
+    detail: str = ""
+
+    def render(self) -> str:
+        detail = f"  {self.detail}" if self.detail else ""
+        return f"{self.time:12.2f}  {self.component:<14} {self.event}{detail}"
+
+
+class Tracer:
+    """An append-only trace buffer with filtering and rendering."""
+
+    def __init__(self, sim: Simulator, capacity: int = 100_000):
+        self.sim = sim
+        self.capacity = capacity
+        self.records: list[TraceRecord] = []
+        self.dropped = 0
+        self.enabled = True
+
+    def emit(self, component: str, event: str, detail: str = "") -> None:
+        if not self.enabled:
+            return
+        if len(self.records) >= self.capacity:
+            self.dropped += 1
+            return
+        self.records.append(
+            TraceRecord(self.sim.now, component, event, detail))
+
+    def hook(self, component: str, event: str) -> Callable[[str], None]:
+        """A pre-bound emitter for cheap call sites."""
+
+        def fire(detail: str = "") -> None:
+            self.emit(component, event, detail)
+
+        return fire
+
+    # -- querying ---------------------------------------------------------------
+
+    def select(self, component: Optional[str] = None,
+               event: Optional[str] = None,
+               start: float = 0.0,
+               end: float = float("inf")) -> list[TraceRecord]:
+        return [
+            r for r in self.records
+            if (component is None or r.component == component)
+            and (event is None or r.event == event)
+            and start <= r.time <= end
+        ]
+
+    def count(self, component: Optional[str] = None,
+              event: Optional[str] = None) -> int:
+        return len(self.select(component, event))
+
+    def intervals(self, component: str, start_event: str,
+                  end_event: str) -> list[tuple[float, float]]:
+        """Pair up start/end events into (start_time, duration)."""
+        out = []
+        open_time: Optional[float] = None
+        for record in self.records:
+            if record.component != component:
+                continue
+            if record.event == start_event:
+                open_time = record.time
+            elif record.event == end_event and open_time is not None:
+                out.append((open_time, record.time - open_time))
+                open_time = None
+        return out
+
+    # -- rendering -----------------------------------------------------------------
+
+    def render(self, records: Optional[Iterable[TraceRecord]] = None,
+               limit: int = 200) -> str:
+        rows = list(records if records is not None else self.records)
+        lines = [r.render() for r in rows[:limit]]
+        if len(rows) > limit:
+            lines.append(f"... {len(rows) - limit} more records")
+        if self.dropped:
+            lines.append(f"... {self.dropped} records dropped (capacity)")
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        """Per-(component, event) counts."""
+        counts: dict[tuple[str, str], int] = {}
+        for record in self.records:
+            key = (record.component, record.event)
+            counts[key] = counts.get(key, 0) + 1
+        lines = [
+            f"{component:<14} {event:<24} {count:>8}"
+            for (component, event), count in sorted(counts.items())
+        ]
+        return "\n".join(lines)
+
+
+def attach_board_tracer(tracer: Tracer, board) -> None:
+    """Instrument an OsirisBoard: cell arrivals, drops, interrupts,
+    and kernel-channel queue transitions."""
+    def on_cell(cell):
+        tracer.emit("board", "cell-arrival",
+                    f"vci={cell.vci} eom={cell.eom}")
+
+    board.on_cell_arrival = on_cell
+
+    original_assert = board.irq.assert_irq
+
+    def traced_assert(kind, channel_id=0):
+        tracer.emit("board", "interrupt",
+                    f"{kind.value} ch={channel_id}")
+        original_assert(kind, channel_id)
+
+    board.irq.assert_irq = traced_assert
+
+    for channel in board.channels[:1]:
+        channel.recv_queue.became_nonempty.subscribe(
+            lambda _v, c=channel: tracer.emit(
+                "recv-queue", "non-empty", f"ch={c.channel_id}"))
+        channel.tx_queue.became_nonfull.subscribe(
+            lambda _v, c=channel: tracer.emit(
+                "tx-queue", "non-full", f"ch={c.channel_id}"))
+
+
+def attach_driver_tracer(tracer: Tracer, driver) -> None:
+    """Instrument an OsirisDriver: PDU send/receive hand-offs."""
+    original_send = driver.send_pdu
+
+    def traced_send(msg, vci):
+        tracer.emit("driver", "send-pdu",
+                    f"vci={vci} bytes={msg.length}")
+        yield from original_send(msg, vci)
+
+    driver.send_pdu = traced_send
+
+    original_deliver = driver._deliver_pdu
+
+    def traced_deliver(descs):
+        tracer.emit("driver", "deliver-pdu",
+                    f"vci={descs[-1].vci} buffers={len(descs)}")
+        yield from original_deliver(descs)
+
+    driver._deliver_pdu = traced_deliver
+
+
+__all__ = ["Tracer", "TraceRecord", "attach_board_tracer",
+           "attach_driver_tracer"]

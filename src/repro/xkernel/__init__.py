@@ -1,0 +1,16 @@
+"""x-kernel protocol framework and the protocols built on it."""
+
+from .message import Message
+from .protocol import Path, Protocol, Session
+from .protocols.ip import IpProtocol, IpSession
+from .protocols.testproto import Reception, TestProgram, TestProtocol
+from .protocols.rdp import RdpProtocol, RdpSession
+from .protocols.udp import UdpProtocol, UdpSession
+
+__all__ = [
+    "Message", "Protocol", "Session", "Path",
+    "IpProtocol", "IpSession",
+    "UdpProtocol", "UdpSession",
+    "RdpProtocol", "RdpSession",
+    "TestProtocol", "TestProgram", "Reception",
+]

@@ -1,0 +1,198 @@
+"""x-kernel style messages: directed buffer chains, copy-free.
+
+A message is a list of (virtual address, length) segments in one
+address space.  Pushing a protocol header allocates a *separate* small
+buffer -- which is why "the header portion usually contributes one
+physical buffer" (paper, section 2.2, figure 1).  Fragmenting a
+message produces subrange views over the same buffers; nothing is
+copied on the data path.
+
+Reads used for checksum verification can be routed through the host
+data cache (``cache=...``) so that stale lines after a non-coherent
+DMA are actually observed -- the lazy-invalidation mechanism of
+section 2.3 depends on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..hw.cache import DataCache
+from ..sim import SimulationError
+from ..host.vm import AddressSpace, PhysBuffer
+
+ReleaseFn = Callable[[], None]
+
+
+@dataclass
+class _Segment:
+    vaddr: int
+    length: int
+
+
+class Message:
+    """A directed buffer chain within one address space."""
+
+    def __init__(self, space: AddressSpace,
+                 segments: Optional[list[tuple[int, int]]] = None,
+                 release: Optional[ReleaseFn] = None):
+        self.space = space
+        self._segments = [
+            _Segment(v, n) for v, n in (segments or []) if n > 0]
+        self._release_fns: list[ReleaseFn] = [release] if release else []
+        self.released = False
+
+    # -- constructors ------------------------------------------------------------
+
+    @classmethod
+    def from_bytes(cls, space: AddressSpace, data: bytes,
+                   align_page: bool = False, offset: int = 0) -> "Message":
+        """Allocate a fresh buffer in ``space`` holding ``data``.
+
+        ``offset``/``align_page`` control page alignment of the data
+        (section 2.2: alignment decides the physical buffer count).
+        """
+        if not data:
+            return cls(space, [])  # header-only messages (e.g. ACKs)
+        vaddr = space.alloc(len(data), align_page=align_page,
+                            offset=offset)
+        space.write(vaddr, data)
+        return cls(space, [(vaddr, len(data))])
+
+    # -- inspection ----------------------------------------------------------------
+
+    @property
+    def length(self) -> int:
+        return sum(seg.length for seg in self._segments)
+
+    @property
+    def segment_count(self) -> int:
+        return len(self._segments)
+
+    def segments(self) -> list[tuple[int, int]]:
+        """(vaddr, length) pairs -- what the driver wires and maps."""
+        return [(seg.vaddr, seg.length) for seg in self._segments]
+
+    def physical_buffers(self) -> list[PhysBuffer]:
+        """The DMA view: every segment shattered by page mapping."""
+        buffers: list[PhysBuffer] = []
+        for seg in self._segments:
+            buffers.extend(
+                self.space.physical_buffers(seg.vaddr, seg.length))
+        return buffers
+
+    def read_all(self, cache: Optional[DataCache] = None) -> bytes:
+        """Concatenate the message bytes (optionally through the cache)."""
+        out = bytearray()
+        for seg in self._segments:
+            out += self._read_segment(seg, 0, seg.length, cache)
+        return bytes(out)
+
+    def peek(self, nbytes: int,
+             cache: Optional[DataCache] = None) -> bytes:
+        """Read the first ``nbytes`` without consuming them."""
+        if nbytes > self.length:
+            raise SimulationError("peek beyond message end")
+        out = bytearray()
+        for seg in self._segments:
+            if len(out) >= nbytes:
+                break
+            take = min(seg.length, nbytes - len(out))
+            out += self._read_segment(seg, 0, take, cache)
+        return bytes(out)
+
+    def _read_segment(self, seg: _Segment, offset: int, nbytes: int,
+                      cache: Optional[DataCache]) -> bytes:
+        if cache is None:
+            return self.space.read(seg.vaddr + offset, nbytes)
+        out = bytearray()
+        for buf in self.space.physical_buffers(seg.vaddr + offset, nbytes):
+            out += cache.read(buf.addr, buf.length)
+        return bytes(out)
+
+    # -- mutation -------------------------------------------------------------------
+
+    def push_header(self, header: bytes) -> None:
+        """Prepend a header in its own freshly allocated buffer."""
+        vaddr = self.space.alloc(len(header))
+        self.space.write(vaddr, header)
+        self._segments.insert(0, _Segment(vaddr, len(header)))
+
+    def pop_bytes(self, nbytes: int,
+                  cache: Optional[DataCache] = None) -> bytes:
+        """Consume and return the first ``nbytes`` (header strip)."""
+        if nbytes > self.length:
+            raise SimulationError("pop beyond message end")
+        data = self.peek(nbytes, cache)
+        remaining = nbytes
+        while remaining > 0:
+            seg = self._segments[0]
+            if seg.length <= remaining:
+                remaining -= seg.length
+                self._segments.pop(0)
+            else:
+                seg.vaddr += remaining
+                seg.length -= remaining
+                remaining = 0
+        return data
+
+    def truncate(self, new_length: int) -> None:
+        """Drop bytes beyond ``new_length`` (AAL5 pad/trailer strip)."""
+        if new_length > self.length:
+            raise SimulationError("truncate beyond message end")
+        kept: list[_Segment] = []
+        remaining = new_length
+        for seg in self._segments:
+            if remaining == 0:
+                break
+            take = min(seg.length, remaining)
+            kept.append(_Segment(seg.vaddr, take))
+            remaining -= take
+        self._segments = kept
+
+    def subrange(self, offset: int, nbytes: int) -> "Message":
+        """A view over ``[offset, offset+nbytes)`` -- used by IP
+        fragmentation; shares the underlying buffers (copy-free)."""
+        if offset + nbytes > self.length:
+            raise SimulationError("subrange beyond message end")
+        segments: list[tuple[int, int]] = []
+        pos = 0
+        for seg in self._segments:
+            seg_end = pos + seg.length
+            lo = max(pos, offset)
+            hi = min(seg_end, offset + nbytes)
+            if lo < hi:
+                segments.append((seg.vaddr + (lo - pos), hi - lo))
+            pos = seg_end
+        return Message(self.space, segments)
+
+    def append(self, other: "Message") -> None:
+        """Concatenate another chain (IP reassembly); adopts its
+        release obligations."""
+        if other.space is not self.space:
+            raise SimulationError("cannot append across address spaces")
+        self._segments.extend(other._segments)
+        self._release_fns.extend(other._release_fns)
+        other._release_fns = []
+
+    # -- buffer lifetime --------------------------------------------------------------
+
+    def add_release(self, fn: ReleaseFn) -> None:
+        self._release_fns.append(fn)
+
+    def release(self) -> None:
+        """Return loaned buffers (e.g. driver receive buffers)."""
+        if self.released:
+            return
+        self.released = True
+        for fn in self._release_fns:
+            fn()
+        self._release_fns = []
+
+    def __repr__(self) -> str:
+        return (f"Message({self.length}B in {len(self._segments)} "
+                f"segments, space={self.space.name!r})")
+
+
+__all__ = ["Message"]

@@ -1,0 +1,101 @@
+"""x-kernel protocol framework: protocols, sessions, paths.
+
+The x-kernel structures a host's protocols as a graph of protocol
+objects; a *path* is the sequence of sessions that process messages
+for one application-level connection (paper, section 3.1).  Paths are
+first-class here because the OSIRIS driver binds each one to a VCI --
+the abundant-VCI strategy that enables early demultiplexing.
+
+A session's ``send`` is a timed generator (it runs on the host CPU);
+delivery upward happens through ``deliver``, also a generator, invoked
+from the driver's receive thread.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from ..sim import SimulationError
+from .message import Message
+
+
+class Protocol:
+    """A node in the protocol graph."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.sessions: list["Session"] = []
+
+    def register(self, session: "Session") -> None:
+        self.sessions.append(session)
+
+    def __repr__(self) -> str:
+        return f"Protocol({self.name!r}, {len(self.sessions)} sessions)"
+
+
+class Session:
+    """One connection's state within a protocol.
+
+    Sessions form a chain: ``below`` towards the driver, ``above``
+    towards the application.
+    """
+
+    def __init__(self, protocol: Protocol,
+                 below: Optional["Session"] = None):
+        self.protocol = protocol
+        self.below = below
+        self.above: Optional["Session"] = None
+        if below is not None:
+            below.above = self
+        protocol.register(self)
+        self.sent = 0
+        self.delivered = 0
+
+    def send(self, msg: Message) -> Generator[Any, Any, None]:
+        """Push a message down the path (timed)."""
+        raise NotImplementedError
+
+    def deliver(self, msg: Message) -> Generator[Any, Any, None]:
+        """Receive a message from below (timed)."""
+        raise NotImplementedError
+
+    def _send_below(self, msg: Message) -> Generator[Any, Any, None]:
+        if self.below is None:
+            raise SimulationError(
+                f"{self.protocol.name} session has nothing below")
+        self.sent += 1
+        yield from self.below.send(msg)
+
+    def _deliver_above(self, msg: Message) -> Generator[Any, Any, None]:
+        if self.above is None:
+            raise SimulationError(
+                f"{self.protocol.name} session has nothing above")
+        self.delivered += 1
+        yield from self.above.deliver(msg)
+
+
+class Path:
+    """The session chain of one application connection, bound to a VCI.
+
+    'Each path is then bound to an unused VCI by the device driver ...
+    we treat VCIs as a fairly abundant resource' (section 3.1).
+    """
+
+    def __init__(self, vci: int, sessions: list[Session]):
+        self.vci = vci
+        self.sessions = sessions
+
+    @property
+    def top(self) -> Session:
+        return self.sessions[-1]
+
+    @property
+    def bottom(self) -> Session:
+        return self.sessions[0]
+
+    def __repr__(self) -> str:
+        chain = " -> ".join(s.protocol.name for s in self.sessions)
+        return f"Path(vci={self.vci}, {chain})"
+
+
+__all__ = ["Protocol", "Session", "Path"]

@@ -1,0 +1,209 @@
+"""RDP: a reliable datagram protocol over the x-kernel graph.
+
+The paper stresses that its approach is protocol-independent ('because
+the x-kernel supports arbitrary protocols ... it is not tailored to
+TCP/IP').  RDP exercises that claim: a go-back-N sliding-window
+protocol with cumulative acknowledgements and retransmission timers,
+assembled from the same Session machinery as UDP/IP — and it supplies
+section 2.3's first condition ('mechanisms for detecting or tolerating
+transmission errors are already in place') for workloads that do not
+run UDP checksums.
+
+Header layout (16 bytes, big-endian)::
+
+    kind:1  window:1  seq:4  ack:4  length:4  checksum:2
+
+``kind`` is DATA (0) or ACK (1).  The checksum covers the payload
+(always on: RDP is the reliable path).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Generator, Optional
+
+from ...atm.crc import fast_internet_checksum as internet_checksum
+from ...hw.cpu import HostCPU
+from ...sim import Delay, Signal, Simulator, spawn
+from ..message import Message
+from ..protocol import Protocol, Session
+
+HEADER = struct.Struct(">BBIII H")
+HEADER_BYTES = HEADER.size
+
+KIND_DATA = 0
+KIND_ACK = 1
+
+assert HEADER_BYTES == 16
+
+
+class RdpProtocol(Protocol):
+    """The RDP node of the graph."""
+
+    def __init__(self, cpu: HostCPU, sim: Simulator,
+                 cache=None, cache_policy=None,
+                 window: int = 8,
+                 retransmit_timeout_us: float = 5000.0,
+                 max_retries: int = 10):
+        super().__init__("rdp")
+        self.cpu = cpu
+        self.sim = sim
+        self.cache = cache
+        self.cache_policy = cache_policy
+        self.window = window
+        self.retransmit_timeout_us = retransmit_timeout_us
+        self.max_retries = max_retries
+        self.retransmissions = 0
+        self.duplicates_dropped = 0
+        self.corrupt_dropped = 0
+        self.stale_recoveries = 0
+
+
+class RdpSession(Session):
+    """One reliable conversation (go-back-N)."""
+
+    def __init__(self, protocol: RdpProtocol, below: Session):
+        super().__init__(protocol, below)
+        self.rdp: RdpProtocol = protocol
+        # Sender state.
+        self._next_seq = 0
+        self._send_base = 0
+        self._unacked: dict[int, bytes] = {}
+        self._window_open = Signal("rdp.window")
+        self._ack_seen = Signal("rdp.ack")
+        self._timer_proc = None
+        self.failed = False
+        # Receiver state.
+        self._expected_seq = 0
+
+    # -- transmit ------------------------------------------------------------------
+
+    def send(self, msg: Message) -> Generator[Any, Any, None]:
+        rdp = self.rdp
+        yield from rdp.cpu.execute(rdp.cpu.machine.costs.udp_tx_pdu)
+        while self._next_seq - self._send_base >= rdp.window:
+            yield self._window_open
+        seq = self._next_seq
+        self._next_seq += 1
+        payload = msg.read_all()
+        self._unacked[seq] = payload
+        yield from self._transmit_data(seq, payload)
+        if self._timer_proc is None or self._timer_proc.done:
+            self._timer_proc = spawn(
+                rdp.sim, self._retransmit_loop(), "rdp-timer")
+
+    def _transmit_data(self, seq: int,
+                       payload: bytes) -> Generator[Any, Any, None]:
+        rdp = self.rdp
+        yield from rdp.cpu.checksum(len(payload), data_resident=True)
+        csum = internet_checksum(payload)
+        header = HEADER.pack(KIND_DATA, rdp.window, seq, 0,
+                             len(payload), csum)
+        packet = Message.from_bytes(self._bottom_space(), payload)
+        packet.push_header(header)
+        yield from self.below.send(packet)
+
+    def _bottom_space(self):
+        session = self.below
+        while session.below is not None:
+            session = session.below
+        return session.space
+
+    def _retransmit_loop(self) -> Generator[Any, Any, None]:
+        rdp = self.rdp
+        retries = 0
+        while self._unacked:
+            base_before = self._send_base
+            yield Delay(rdp.retransmit_timeout_us)
+            if not self._unacked:
+                return
+            if self._send_base != base_before:
+                retries = 0
+                continue
+            retries += 1
+            if retries > rdp.max_retries:
+                self.failed = True
+                self._ack_seen.fire(None)  # release waiters
+                return
+            # Go-back-N: resend everything outstanding, in order.
+            for seq in sorted(self._unacked):
+                rdp.retransmissions += 1
+                yield from self._transmit_data(seq, self._unacked[seq])
+
+    # -- receive --------------------------------------------------------------------
+
+    def deliver(self, msg: Message) -> Generator[Any, Any, None]:
+        rdp = self.rdp
+        yield from rdp.cpu.execute(rdp.cpu.machine.costs.udp_rx_pdu)
+        raw = msg.peek(HEADER_BYTES, cache=rdp.cache)
+        kind, window, seq, ack, length, csum = HEADER.unpack(raw)
+        plausible = kind in (KIND_DATA, KIND_ACK) and \
+            length == msg.length - HEADER_BYTES
+        if not plausible and rdp.cache_policy is not None:
+            recovered = yield from rdp.cache_policy.recover(msg)
+            if recovered:
+                rdp.stale_recoveries += 1
+                raw = msg.peek(HEADER_BYTES, cache=rdp.cache)
+                kind, window, seq, ack, length, csum = HEADER.unpack(raw)
+        msg.pop_bytes(HEADER_BYTES, cache=rdp.cache)
+
+        if kind == KIND_ACK:
+            msg.release()
+            self._handle_ack(ack)
+            return
+        yield from self._handle_data(msg, seq, length, csum)
+
+    def _handle_ack(self, ack: int) -> None:
+        advanced = False
+        while self._send_base < ack:
+            self._unacked.pop(self._send_base, None)
+            self._send_base += 1
+            advanced = True
+        if advanced:
+            self._window_open.fire()
+            self._ack_seen.fire(ack)
+
+    def _handle_data(self, msg: Message, seq: int, length: int,
+                     csum: int) -> Generator[Any, Any, None]:
+        rdp = self.rdp
+        yield from rdp.cpu.checksum(msg.length, data_resident=(
+            rdp.cache is not None
+            and rdp.cache.spec.coherent_with_dma))
+        ok = internet_checksum(msg.read_all(rdp.cache)) == csum
+        if not ok and rdp.cache_policy is not None:
+            recovered = yield from rdp.cache_policy.recover(msg)
+            if recovered:
+                rdp.stale_recoveries += 1
+                ok = internet_checksum(msg.read_all(rdp.cache)) == csum
+        if not ok:
+            rdp.corrupt_dropped += 1
+            msg.release()
+            return  # the retransmission timer will resend it
+        if seq != self._expected_seq:
+            rdp.duplicates_dropped += 1
+            msg.release()
+            yield from self._send_ack()  # re-ack the current base
+            return
+        self._expected_seq += 1
+        yield from self._send_ack()
+        yield from self._deliver_above(msg)
+
+    def _send_ack(self) -> Generator[Any, Any, None]:
+        header = HEADER.pack(KIND_ACK, self.rdp.window, 0,
+                             self._expected_seq, 0, 0)
+        packet = Message.from_bytes(self._bottom_space(), b"")
+        packet.push_header(header)
+        yield from self.below.send(packet)
+
+    # -- draining ---------------------------------------------------------------------
+
+    def wait_all_acked(self) -> Generator[Any, Any, bool]:
+        """Block until every sent datagram is acknowledged (or the
+        session gave up).  Returns success."""
+        while self._unacked and not self.failed:
+            yield self._ack_seen
+        return not self.failed
+
+
+__all__ = ["RdpProtocol", "RdpSession", "HEADER_BYTES",
+           "KIND_DATA", "KIND_ACK"]

@@ -1,0 +1,153 @@
+"""A minimal RPC protocol: request/response with transaction matching.
+
+Section 2.5.2 motivates page-boundary-respecting DMA with 'network
+file system (NFS) traffic', whose PDUs are multiples of the page size
+and whose 'higher-layer services expect to see full pages'.  This RPC
+layer (Sun-RPC-shaped: transaction ids, procedure numbers, a reply
+matched to its call) lets the examples and tests run exactly that
+workload over the full OSIRIS stack.
+
+Header layout (12 bytes, big-endian)::
+
+    kind:1  proc:1  pad:2  xid:4  length:4
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Callable, Generator, Optional
+
+from ...hw.cpu import HostCPU
+from ...sim import Signal, SimulationError, Simulator
+from ..message import Message
+from ..protocol import Protocol, Session
+
+HEADER = struct.Struct(">BB2xII")
+HEADER_BYTES = HEADER.size
+
+KIND_CALL = 0
+KIND_REPLY = 1
+
+assert HEADER_BYTES == 12
+
+# A handler takes the request bytes and returns the reply bytes.
+HandlerFn = Callable[[bytes], bytes]
+
+
+class RpcProtocol(Protocol):
+    def __init__(self, cpu: HostCPU, sim: Simulator,
+                 per_call_us: float = 15.0):
+        super().__init__("rpc")
+        self.cpu = cpu
+        self.sim = sim
+        self.per_call_us = per_call_us
+        self.calls_sent = 0
+        self.calls_served = 0
+        self.orphan_replies = 0
+
+
+class RpcClient(Session):
+    """Issues calls and matches replies by transaction id."""
+
+    def __init__(self, protocol: RpcProtocol, below: Session):
+        super().__init__(protocol, below)
+        self.rpc: RpcProtocol = protocol
+        self._next_xid = 1
+        self._pending: dict[int, Signal] = {}
+        self._replies: dict[int, bytes] = {}
+
+    def call(self, proc: int, request: bytes,
+             page_align: bool = False) -> Generator[Any, Any, bytes]:
+        """Send a call and block until its reply arrives."""
+        rpc = self.rpc
+        yield from rpc.cpu.execute(rpc.per_call_us)
+        xid = self._next_xid
+        self._next_xid += 1
+        signal = Signal(f"rpc.xid{xid}")
+        self._pending[xid] = signal
+        header = HEADER.pack(KIND_CALL, proc, xid, len(request))
+        msg = Message.from_bytes(self._bottom_space(), request,
+                                 align_page=page_align)
+        msg.push_header(header)
+        rpc.calls_sent += 1
+        yield from self._send_below(msg)
+        while xid not in self._replies:
+            yield signal
+        del self._pending[xid]
+        return self._replies.pop(xid)
+
+    def _bottom_space(self):
+        session = self.below
+        while session.below is not None:
+            session = session.below
+        return session.space
+
+    def deliver(self, msg: Message) -> Generator[Any, Any, None]:
+        rpc = self.rpc
+        yield from rpc.cpu.execute(rpc.per_call_us)
+        raw = msg.pop_bytes(HEADER_BYTES)
+        kind, proc, xid, length = HEADER.unpack(raw)
+        if kind != KIND_REPLY or xid not in self._pending:
+            rpc.orphan_replies += 1
+            msg.release()
+            return
+        self._replies[xid] = msg.read_all()
+        msg.release()
+        self._pending[xid].fire(xid)
+
+
+class RpcServer(Session):
+    """Dispatches calls to registered procedure handlers."""
+
+    def __init__(self, protocol: RpcProtocol, below: Session):
+        super().__init__(protocol, below)
+        self.rpc: RpcProtocol = protocol
+        self._handlers: dict[int, HandlerFn] = {}
+        # Handlers may declare a service cost charged per call (µs).
+        self._service_us: dict[int, float] = {}
+
+    def register(self, proc: int, handler: HandlerFn,
+                 service_us: float = 0.0) -> None:
+        if proc in self._handlers:
+            raise SimulationError(f"procedure {proc} already registered")
+        self._handlers[proc] = handler
+        self._service_us[proc] = service_us
+
+    def deliver(self, msg: Message) -> Generator[Any, Any, None]:
+        rpc = self.rpc
+        yield from rpc.cpu.execute(rpc.per_call_us)
+        raw = msg.pop_bytes(HEADER_BYTES)
+        kind, proc, xid, length = HEADER.unpack(raw)
+        if kind != KIND_CALL:
+            rpc.orphan_replies += 1
+            msg.release()
+            return
+        handler = self._handlers.get(proc)
+        request = msg.read_all()
+        msg.release()
+        if handler is None:
+            reply = b""
+        else:
+            if self._service_us.get(proc):
+                yield from rpc.cpu.execute(self._service_us[proc])
+            reply = handler(request)
+        rpc.calls_served += 1
+        header = HEADER.pack(KIND_REPLY, proc, xid, len(reply))
+        out = Message.from_bytes(self._bottom_space(), reply,
+                                 align_page=(len(reply) % 4096 == 0
+                                             and len(reply) > 0))
+        out.push_header(header)
+        yield from self._send_below(out)
+
+    def _bottom_space(self):
+        session = self.below
+        while session.below is not None:
+            session = session.below
+        return session.space
+
+    def send(self, msg: Message) -> Generator[Any, Any, None]:
+        raise NotImplementedError("servers reply from deliver()")
+
+
+__all__ = ["RpcProtocol", "RpcClient", "RpcServer", "HEADER_BYTES",
+           "KIND_CALL", "KIND_REPLY"]

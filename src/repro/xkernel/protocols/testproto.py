@@ -1,0 +1,95 @@
+"""In-kernel test programs (the paper's measurement endpoints).
+
+Section 4: 'All presented results refer to message exchanges between
+test programs linked into the kernel.'  :class:`TestProgram` is that
+endpoint: a top-of-path session that records receptions, optionally
+touches the data (forcing real memory reads), and optionally echoes --
+which turns a pair of programs into the round-trip rig of Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional
+
+from ...hw.cpu import HostCPU
+from ...sim import Signal, Simulator
+from ..message import Message
+from ..protocol import Protocol, Session
+
+
+@dataclass
+class Reception:
+    time: float
+    length: int
+    data: Optional[bytes] = field(default=None, repr=False)
+
+
+class TestProtocol(Protocol):
+    __test__ = False  # not a pytest class
+
+    def __init__(self, cpu: HostCPU, sim: Simulator):
+        super().__init__("test")
+        self.cpu = cpu
+        self.sim = sim
+
+
+class TestProgram(Session):
+    __test__ = False  # not a pytest class
+
+    """Application endpoint: source, sink, or echo server."""
+
+    def __init__(self, protocol: TestProtocol, below: Session,
+                 echo: bool = False, touch_data: bool = False,
+                 keep_data: bool = False):
+        super().__init__(protocol, below)
+        self.test: TestProtocol = protocol
+        self.echo = echo
+        self.touch_data = touch_data
+        self.keep_data = keep_data
+        self.receptions: list[Reception] = []
+        self.bytes_received = 0
+        self.on_receive = Signal("test.receive")
+
+    def send_message(self, data: bytes, align_page: bool = False,
+                     offset: int = 0) -> Generator[Any, Any, None]:
+        """Create a message in this endpoint's space and send it."""
+        costs = self.test.cpu.machine.costs
+        yield from self.test.cpu.execute(costs.test_program_pdu)
+        msg = Message.from_bytes(self.below_space(), data,
+                                 align_page=align_page, offset=offset)
+        yield from self._send_below(msg)
+
+    def send_length(self, nbytes: int,
+                    fill: bytes = b"\xA5") -> Generator[Any, Any, None]:
+        yield from self.send_message(fill * nbytes)
+
+    def below_space(self):
+        # Test programs are linked into the kernel: they allocate from
+        # the kernel address space attached to the path bottom.
+        session = self
+        while session.below is not None:
+            session = session.below
+        return session.space  # the driver session exposes its space
+
+    def deliver(self, msg: Message) -> Generator[Any, Any, None]:
+        costs = self.test.cpu.machine.costs
+        yield from self.test.cpu.execute(costs.test_program_pdu)
+        if self.touch_data:
+            yield from self.test.cpu.touch_data(msg.length)
+        data = msg.read_all() if self.keep_data else None
+        reception = Reception(time=self.test.sim.now, length=msg.length,
+                              data=data)
+        self.receptions.append(reception)
+        self.bytes_received += msg.length
+        length = msg.length
+        msg.release()
+        self.on_receive.fire(reception)
+        if self.echo:
+            yield from self.send_length(length)
+
+    def send(self, msg: Message) -> Generator[Any, Any, None]:
+        raise NotImplementedError("TestProgram is the top of the path")
+
+
+__all__ = ["TestProtocol", "TestProgram", "Reception"]

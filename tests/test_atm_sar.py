@@ -1,0 +1,204 @@
+"""Skew-tolerant reassembly: unit and property tests.
+
+The property tests generate arbitrary *skew-class* misorderings --
+any interleaving of the four per-link cell streams that preserves
+per-link order -- and check that both strategies of section 2.6
+reconstruct every PDU exactly.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.atm import (
+    ConcurrentReassembler, SegmentMode, SequenceNumberReassembler,
+    SkewOverflow, segment,
+)
+
+STRIPE = 4
+
+
+def _stripe_cells(cells):
+    """Assign link ids the way the striper does (cell i -> link i%4)."""
+    for i, cell in enumerate(cells):
+        cell.link_id = i % STRIPE
+    return cells
+
+
+def _skew_interleave(streams, rng):
+    """Random merge of per-link streams preserving per-link order."""
+    cursors = [0] * len(streams)
+    out = []
+    remaining = sum(len(s) for s in streams)
+    while remaining:
+        candidates = [i for i, s in enumerate(streams) if cursors[i] < len(s)]
+        link = rng.choice(candidates)
+        out.append(streams[link][cursors[link]])
+        cursors[link] += 1
+        remaining -= 1
+    return out
+
+
+def _per_link_streams(pdus, mode):
+    """Segment PDUs, assign links, return 4 per-link ordered streams."""
+    streams = [[] for _ in range(STRIPE)]
+    seq_base = 0
+    for data in pdus:
+        cells = segment(data, vci=1, mode=mode)
+        if mode is SegmentMode.SEQUENCE:
+            for cell in cells:
+                cell.seq += seq_base
+            seq_base += len(cells)
+        _stripe_cells(cells)
+        for cell in cells:
+            streams[cell.link_id].append(cell)
+    return streams
+
+
+# -- Strategy 1: sequence numbers ---------------------------------------------
+
+def test_seq_reassembly_in_order():
+    data = b"q" * 500
+    reasm = SequenceNumberReassembler(vci=1)
+    out = []
+    for cell in segment(data, vci=1, mode=SegmentMode.SEQUENCE):
+        out += reasm.push(cell)
+    assert out == [data]
+
+
+def test_seq_reassembly_reversed_within_window():
+    data = b"r" * 300
+    cells = segment(data, vci=1, mode=SegmentMode.SEQUENCE)
+    reasm = SequenceNumberReassembler(vci=1, window=64)
+    out = []
+    for cell in reversed(cells):
+        out += reasm.push(cell)
+    assert out == [data]
+    assert reasm.max_skew_seen == len(cells) - 1
+
+
+def test_seq_window_overflow_raises():
+    data = b"s" * 44 * 100
+    cells = segment(data, vci=1, mode=SegmentMode.SEQUENCE)
+    reasm = SequenceNumberReassembler(vci=1, window=8)
+    with pytest.raises(SkewOverflow):
+        for cell in reversed(cells):
+            reasm.push(cell)
+
+
+def test_seq_requires_sequence_numbers():
+    from repro.atm import Aal5Error
+    cells = segment(b"t" * 10, vci=1)  # IN_ORDER: no seq
+    reasm = SequenceNumberReassembler(vci=1)
+    with pytest.raises(Aal5Error):
+        reasm.push(cells[0])
+
+
+def test_seq_pipelined_pdus_with_skew():
+    pdus = [bytes([k]) * (100 + 7 * k) for k in range(6)]
+    streams = _per_link_streams(pdus, SegmentMode.SEQUENCE)
+    rng = random.Random(42)
+    arrival = _skew_interleave(streams, rng)
+    reasm = SequenceNumberReassembler(vci=1, window=4096)
+    out = []
+    for cell in arrival:
+        out += reasm.push(cell)
+    assert out == pdus
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.binary(min_size=1, max_size=400), min_size=1, max_size=5),
+    st.integers(0, 2**32 - 1),
+)
+def test_seq_property_any_skew(pdus, seed):
+    streams = _per_link_streams(pdus, SegmentMode.SEQUENCE)
+    arrival = _skew_interleave(streams, random.Random(seed))
+    reasm = SequenceNumberReassembler(vci=1, window=1 << 20)
+    out = []
+    for cell in arrival:
+        out += reasm.push(cell)
+    assert out == pdus
+
+
+# -- Strategy 2: concurrent per-link reassembly --------------------------------
+
+def test_concurrent_reassembly_in_order():
+    data = b"u" * 700
+    reasm = ConcurrentReassembler(vci=1)
+    out = []
+    cells = _stripe_cells(segment(data, vci=1, mode=SegmentMode.CONCURRENT))
+    for cell in cells:
+        out += reasm.push(cell, cell.link_id)
+    assert out == [data]
+
+
+def test_concurrent_single_cell_pdu():
+    data = b"v" * 20
+    reasm = ConcurrentReassembler(vci=1)
+    cells = _stripe_cells(segment(data, vci=1, mode=SegmentMode.CONCURRENT))
+    assert len(cells) == 1
+    out = reasm.push(cells[0], 0)
+    assert out == [data]
+
+
+def test_concurrent_short_pdu_sizes_two_and_three():
+    for ncells_data in (40, 100):  # 2-cell and 3-cell PDUs
+        data = b"w" * ncells_data
+        reasm = ConcurrentReassembler(vci=1)
+        cells = _stripe_cells(
+            segment(data, vci=1, mode=SegmentMode.CONCURRENT))
+        out = []
+        for cell in cells:
+            out += reasm.push(cell, cell.link_id)
+        assert out == [data]
+
+
+def test_concurrent_with_lagging_link():
+    """One whole link is delayed behind the other three."""
+    data = b"x" * 900
+    cells = _stripe_cells(segment(data, vci=1, mode=SegmentMode.CONCURRENT))
+    lagging = [c for c in cells if c.link_id == 2]
+    prompt = [c for c in cells if c.link_id != 2]
+    reasm = ConcurrentReassembler(vci=1)
+    out = []
+    for cell in prompt + lagging:
+        out += reasm.push(cell, cell.link_id)
+    assert out == [data]
+
+
+def test_concurrent_interleaved_short_then_long():
+    """A later PDU's completion cells must not fire early assembly."""
+    pdus = [b"a" * 50, b"b" * 120]  # 2-cell PDU then 3-cell PDU
+    streams = _per_link_streams(pdus, SegmentMode.CONCURRENT)
+    # Deliver link 2 (only PDU b uses it) first, then links 0 and 1.
+    arrival = streams[2] + streams[0] + streams[1] + streams[3]
+    reasm = ConcurrentReassembler(vci=1)
+    out = []
+    for cell in arrival:
+        out += reasm.push(cell, cell.link_id)
+    assert out == pdus
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.binary(min_size=1, max_size=600), min_size=1, max_size=6),
+    st.integers(0, 2**32 - 1),
+)
+def test_concurrent_property_any_skew(pdus, seed):
+    streams = _per_link_streams(pdus, SegmentMode.CONCURRENT)
+    arrival = _skew_interleave(streams, random.Random(seed))
+    reasm = ConcurrentReassembler(vci=1)
+    out = []
+    for cell in arrival:
+        out += reasm.push(cell, cell.link_id)
+    assert out == pdus
+    assert reasm.cells_pending == 0
+
+
+def test_concurrent_rejects_bad_link():
+    from repro.atm import Aal5Error, Cell
+    reasm = ConcurrentReassembler(vci=1)
+    with pytest.raises(Aal5Error):
+        reasm.push(Cell(vci=1, payload=b"y" * 44), 7)

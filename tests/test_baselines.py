@@ -1,0 +1,145 @@
+"""Baseline mechanism tests (spin-lock queue, PIO, per-PDU interrupts)."""
+
+import pytest
+
+from repro.baselines import (
+    LockedDescriptorQueue, dma_receive, pio_receive,
+    run_interrupt_discipline,
+)
+from repro.hw import DEC3000_600, DS5000_200, DualPortMemory, TurboChannel
+from repro.osiris import Descriptor, DescriptorQueue, InterruptMode
+from repro.sim import Delay, Simulator, spawn
+
+
+def _locked_rig():
+    sim = Simulator()
+    tc = TurboChannel(sim, DS5000_200.bus)
+    dp = DualPortMemory(8192)
+    queue = LockedDescriptorQueue(sim, tc, dp, 0, 16,
+                                  host_is_writer=True)
+    return sim, tc, queue
+
+
+def test_locked_queue_roundtrip():
+    sim, tc, queue = _locked_rig()
+    got = []
+
+    def host():
+        for i in range(5):
+            ok = yield from queue.push(
+                Descriptor(addr=0x1000 * (i + 1), length=10 + i),
+                by_host=True)
+            assert ok
+
+    def board():
+        while len(got) < 5:
+            desc = yield from queue.pop(by_host=False)
+            if desc is None:
+                yield Delay(1.0)
+            else:
+                got.append(desc)
+
+    spawn(sim, host())
+    spawn(sim, board())
+    sim.run()
+    assert [d.addr for d in got] == [0x1000 * (i + 1) for i in range(5)]
+
+
+def test_locked_queue_contention_costs_more_than_lockfree():
+    """E7: the same producer/consumer pattern, both disciplines."""
+    n = 40
+
+    # Lock-free: plain queue with PIO charges, concurrent access.
+    sim = Simulator()
+    tc = TurboChannel(sim, DS5000_200.bus)
+    dp = DualPortMemory(8192)
+    queue = DescriptorQueue(dp, 0, 16, host_is_writer=True)
+
+    def lf_host():
+        for i in range(n):
+            while not queue.push(Descriptor(addr=0x1000, length=i)):
+                yield Delay(0.5)
+            reads, writes = queue.host_access.reset()
+            yield from tc.pio_read_words(reads)
+            yield from tc.pio_write_words(writes)
+
+    def lf_board():
+        count = 0
+        while count < n:
+            desc = queue.pop(by_host=False)
+            if desc is None:
+                yield Delay(0.2)
+            else:
+                count += 1
+                yield Delay(0.3)
+
+    spawn(sim, lf_host())
+    spawn(sim, lf_board())
+    sim.run()
+    lockfree_time = sim.now
+
+    sim2, tc2, locked = _locked_rig()
+
+    def l_host():
+        for i in range(n):
+            while True:
+                ok = yield from locked.push(
+                    Descriptor(addr=0x1000, length=i), by_host=True)
+                if ok:
+                    break
+                yield Delay(0.5)
+
+    def l_board():
+        count = 0
+        while count < n:
+            desc = yield from locked.pop(by_host=False)
+            if desc is None:
+                yield Delay(0.2)
+            else:
+                count += 1
+                yield Delay(0.3)
+
+    spawn(sim2, l_host())
+    spawn(sim2, l_board())
+    sim2.run()
+    locked_time = sim2.now
+
+    assert locked_time > lockfree_time * 1.5
+    # Every push and pop (including empty polls) took the lock.
+    assert locked.lock.register.acquisitions >= 2 * n
+
+
+def test_dma_beats_pio_on_both_machines():
+    """Section 2.7's conclusion for the DEC workstations."""
+    for machine in (DS5000_200, DEC3000_600):
+        dma = dma_receive(machine, 64 * 1024)
+        pio = pio_receive(machine, 64 * 1024)
+        assert dma.app_access_mbps > pio.app_access_mbps, machine.name
+
+
+def test_ds_cache_read_after_dma_still_beats_pio():
+    """On the DS, reading DMAed data into the cache causes a dramatic
+    drop from pure DMA, but stays above PIO (section 2.7)."""
+    dma = dma_receive(DS5000_200, 64 * 1024)
+    pio = pio_receive(DS5000_200, 64 * 1024)
+    assert dma.app_access_mbps < dma.transfer_mbps * 0.5
+    assert dma.app_access_mbps > pio.app_access_mbps
+
+
+def test_alpha_app_reads_at_dma_rate():
+    """Crossbar + coherent cache: the application accesses data at the
+    rate of, and concurrent with, the DMA transfer (section 2.7)."""
+    dma = dma_receive(DEC3000_600, 64 * 1024)
+    assert dma.app_access_mbps > dma.transfer_mbps * 0.9
+
+
+def test_per_pdu_interrupts_cost_throughput_on_ds():
+    coalesced = run_interrupt_discipline(DS5000_200, 4096,
+                                         InterruptMode.COALESCED,
+                                         messages=40)
+    per_pdu = run_interrupt_discipline(DS5000_200, 4096,
+                                       InterruptMode.PER_PDU,
+                                       messages=40)
+    assert coalesced.interrupts_per_pdu < 0.35
+    assert per_pdu.interrupts_per_pdu > 0.9
+    assert coalesced.mbps > per_pdu.mbps

@@ -1,0 +1,139 @@
+"""Tests for the benchmark harness building blocks."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.atm.crc import verify_internet_checksum
+from repro.bench import (
+    build_ip_fragments, build_udp_packet, format_series, format_table,
+    message_count_for, pattern_data, ratio_note, udp_ip_message_pdus,
+)
+from repro.xkernel.protocols import ip as ip_proto
+from repro.xkernel.protocols import udp as udp_proto
+
+
+# -- workload builders ---------------------------------------------------------
+
+def test_pattern_data_length_and_determinism():
+    assert len(pattern_data(12345)) == 12345
+    assert pattern_data(100) == pattern_data(100)
+
+
+def test_udp_packet_layout():
+    packet = build_udp_packet(b"payload", 9, 7, checksum=False)
+    src, dst, length, csum = udp_proto.HEADER.unpack(
+        packet[:udp_proto.HEADER_BYTES])
+    assert (src, dst, length, csum) == (9, 7, 7, 0)
+    assert packet[udp_proto.HEADER_BYTES:] == b"payload"
+
+
+def test_udp_packet_checksum_matches_stack():
+    from repro.atm.crc import fast_internet_checksum
+    packet = build_udp_packet(b"data" * 50, 9, 7, checksum=True)
+    _s, _d, _l, csum = udp_proto.HEADER.unpack(
+        packet[:udp_proto.HEADER_BYTES])
+    assert csum == fast_internet_checksum(b"data" * 50)
+
+
+def test_ip_fragments_cover_packet():
+    packet = b"q" * 40000
+    frags = build_ip_fragments(packet, mtu=16 * 1024 + 20, ident=5)
+    assert len(frags) == 3
+    reassembled = b"".join(f[ip_proto.HEADER_BYTES:] for f in frags)
+    assert reassembled == packet
+    # Flags: MORE on all but the last.
+    for i, frag in enumerate(frags):
+        _id, off, total, flags, proto, _c = ip_proto.HEADER.unpack(
+            frag[:ip_proto.HEADER_BYTES])
+        assert total == len(packet)
+        assert (flags & ip_proto.FLAG_MORE_FRAGMENTS) == \
+            (ip_proto.FLAG_MORE_FRAGMENTS if i < len(frags) - 1 else 0)
+
+
+@given(st.integers(1, 100000), st.integers(1044, 20000))
+def test_fragments_property(nbytes, mtu):
+    pdus = udp_ip_message_pdus(nbytes, mtu)
+    payloads = b"".join(p[ip_proto.HEADER_BYTES:] for p in pdus)
+    assert len(payloads) == nbytes + udp_proto.HEADER_BYTES
+    for pdu in pdus:
+        assert len(pdu) <= mtu
+
+
+def test_wire_image_matches_real_stack():
+    """The harness's hand-built PDUs must be byte-identical to what the
+    sender-side protocol stack emits for the same message."""
+    from repro.hw import DS5000_200
+    from repro.net import Host
+    from repro.sim import Simulator, spawn
+
+    sim = Simulator()
+    host = Host(sim, DS5000_200)
+    host.connect(link=None, deliver=lambda c: None)
+    app, path = host.open_udp_path(local_port=9, remote_port=7)
+
+    sent = []
+    real_send = host.driver.send_pdu
+
+    def capture(msg, vci):
+        sent.append(msg.read_all())
+        yield from real_send(msg, vci)
+
+    host.driver.send_pdu = capture
+    data = pattern_data(20000)
+
+    def go():
+        yield from app.send_message(data)
+
+    spawn(sim, go(), "s")
+    sim.run()
+    built = udp_ip_message_pdus(20000, host.ip.mtu, src_port=9,
+                                dst_port=7, ident=1)
+    stripped = []
+    for pdu, real in zip(built, sent):
+        # idents differ (the stack allocates its own); compare with the
+        # ident and header checksum fields zeroed.
+        a = bytearray(pdu)
+        b = bytearray(real)
+        for buf in (a, b):
+            buf[0:4] = b"\x00" * 4    # ident
+            buf[14:16] = b"\x00\x00"  # header checksum
+        stripped.append((bytes(a), bytes(b)))
+    for a, b in stripped:
+        assert a == b
+
+
+# -- counting policy ---------------------------------------------------------
+
+def test_message_count_for_bounds():
+    assert message_count_for(1) == 400
+    assert message_count_for(1 << 20) == 4
+    assert message_count_for(16 * 1024) == 64
+
+
+# -- report formatting ----------------------------------------------------------
+
+def test_format_table_contains_rows_and_columns():
+    out = format_table("T", "x", (1, 2), {"a": (10.0, 20.0)}, unit="us")
+    assert "T" in out and "a" in out
+    assert "10" in out and "20" in out
+    assert "(values in us)" in out
+
+
+def test_format_series_renders_sketch_and_legend():
+    out = format_series("F", "KB", "Mbps", (1, 2, 4),
+                        {"fast": [100.0, 200.0, 300.0],
+                         "slow": [50.0, 60.0, 70.0]})
+    assert "F" in out
+    assert "*=fast" in out and "+=slow" in out
+    assert "(Mbps)" in out
+
+
+def test_format_series_handles_nan():
+    out = format_series("F", "KB", "Mbps", (1, 2),
+                        {"s": [float("nan"), 10.0]})
+    assert "10" in out
+
+
+def test_ratio_note():
+    assert ratio_note(361.0, 340.0) == "361 vs paper 340 (1.06x)"
+    assert "vs paper 0" in ratio_note(5.0, 0.0)

@@ -1,0 +1,103 @@
+"""End-to-end lazy cache invalidation (section 2.3).
+
+The DECstation's cache is not coherent with DMA.  Under the lazy
+policy the driver never invalidates receive buffers up front; instead,
+when a checksum computed over (possibly stale) cached bytes fails, the
+affected lines are invalidated and the message re-evaluated.  These
+tests drive that path with real bytes: a deliberately warmed cache
+line really returns stale data, the UDP checksum really fails, and the
+recovery really fixes it.
+"""
+
+import pytest
+
+from repro.driver.config import CachePolicyKind, DriverConfig
+from repro.hw import DEC3000_600, DS5000_200
+from repro.net import Host
+from repro.osiris.rx_processor import FramedPduSource
+from repro.bench.workloads import udp_ip_message_pdus
+from repro.sim import Simulator
+
+
+def _receive_one(machine, policy, prewarm: bool, checksum: bool = True):
+    config = DriverConfig(cache_policy=policy)
+    sim = Simulator()
+    host = Host(sim, machine, config=config, udp_checksum=checksum)
+    host.connect_receive_only(flow_controlled=True)
+    app, path = host.open_udp_path(local_port=7, remote_port=9,
+                                   keep_data=True)
+    if prewarm:
+        # The CPU reads the first receive buffer's range before the
+        # DMA lands -- e.g. leftover reads from that buffer's previous
+        # use.  These lines will be stale after the DMA.
+        first_buffer = 0  # contiguous pool starts at physical 0
+        size = host.board.spec.recv_buffer_bytes
+        host.cache.read(first_buffer, size)
+    pdus = udp_ip_message_pdus(4096, host.ip.mtu, checksum=checksum)
+    FramedPduSource(sim, host.board, vci=path.vci, pdus=pdus, repeat=1)
+    sim.run()
+    return host, app
+
+
+def test_stale_read_actually_happens_without_recovery():
+    """Policy NONE on a non-coherent machine: the checksum failure is
+    terminal and the message is dropped -- proving the staleness is
+    real, not cosmetic."""
+    host, app = _receive_one(DS5000_200, CachePolicyKind.NONE,
+                             prewarm=True)
+    assert host.udp.checksum_failures >= 1 or host.driver.rx_errors >= 1
+    assert len(app.receptions) == 0
+
+
+def test_lazy_policy_recovers_stale_data():
+    host, app = _receive_one(DS5000_200, CachePolicyKind.LAZY,
+                             prewarm=True)
+    assert len(app.receptions) == 1
+    assert app.receptions[0].data is not None
+    recovered = (host.udp.stale_recoveries
+                 + host.driver.cache_policy.lazy_recoveries)
+    assert recovered >= 1
+
+
+def test_lazy_policy_costs_nothing_in_the_common_case():
+    """No stale lines -> no invalidations at all (the optimization)."""
+    host, app = _receive_one(DS5000_200, CachePolicyKind.LAZY,
+                             prewarm=False)
+    assert len(app.receptions) == 1
+    assert host.driver.cache_policy.lazy_recoveries == 0
+    assert host.udp.checksum_failures == 0
+
+
+def test_eager_policy_never_sees_stale_data():
+    host, app = _receive_one(DS5000_200, CachePolicyKind.EAGER,
+                             prewarm=True)
+    assert len(app.receptions) == 1
+    assert host.udp.checksum_failures == 0
+    assert host.driver.cache_policy.eager_invalidations >= 1
+
+
+def test_coherent_machine_needs_no_policy():
+    host, app = _receive_one(DEC3000_600, CachePolicyKind.NONE,
+                             prewarm=True)
+    assert len(app.receptions) == 1
+    assert host.udp.checksum_failures == 0
+    assert host.cache.stale_reads == 0
+
+
+def test_without_checksum_stale_data_reaches_the_application():
+    """Condition 3 of section 2.3: with unreliable protocols (no
+    checksum) stale *payload* can reach an application that reads
+    through the cache -- the reason the driver recycles buffers onto
+    the same data stream.  (The driver invalidates the few metadata
+    lines it reads itself, but never the bulk data.)"""
+    host, app = _receive_one(DS5000_200, CachePolicyKind.LAZY,
+                             prewarm=True, checksum=False)
+    # The message is delivered: nothing detects the staleness.
+    assert len(app.receptions) == 1
+    # An application load of the payload region through the cache
+    # returns the pre-DMA bytes, not what is actually in memory.
+    payload_addr = 200  # mid-payload of the first receive buffer
+    cached = host.cache.read(payload_addr, 64)
+    fresh = host.memory.read(payload_addr, 64)
+    assert cached != fresh
+    assert host.cache.stale_reads > 0

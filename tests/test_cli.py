@@ -1,0 +1,55 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_knows_all_commands():
+    parser = build_parser()
+    for command in ("table1", "figure2", "figure3", "figure4", "all",
+                    "latency", "receive", "transmit"):
+        args = parser.parse_args(
+            [command] if command in ("table1", "figure2", "figure3",
+                                     "figure4", "all")
+            else [command, "--machine", "ds"])
+        assert args.command == command
+
+
+def test_latency_command_prints_result(capsys):
+    assert main(["latency", "--machine", "ds", "--size", "1",
+                 "--protocol", "atm"]) == 0
+    out = capsys.readouterr().out
+    assert "DECstation 5000/200" in out
+    assert "us round trip" in out
+
+
+def test_receive_command_with_double_cell(capsys):
+    assert main(["receive", "--machine", "alpha", "--size", "4096",
+                 "--dma", "double"]) == 0
+    out = capsys.readouterr().out
+    assert "Mbps" in out
+
+
+def test_transmit_command(capsys):
+    assert main(["transmit", "--machine", "ds", "--size", "8192"]) == 0
+    assert "transmit" in capsys.readouterr().out
+
+
+def test_table1_quick(capsys):
+    assert main(["table1", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "Round-Trip Latencies" in out
+    assert "(paper)" in out
+
+
+def test_figure_custom_sizes(capsys):
+    assert main(["figure4", "--sizes", "4,16"]) == 0
+    out = capsys.readouterr().out
+    assert "transmit-side throughput" in out
+    assert "3000/600" in out
+
+
+def test_unknown_machine_rejected():
+    with pytest.raises(SystemExit):
+        main(["latency", "--machine", "vax"])

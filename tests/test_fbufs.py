@@ -1,0 +1,114 @@
+"""Fbuf allocator and transfer tests (section 3.1)."""
+
+import pytest
+
+from repro.baselines import compare_cross_domain
+from repro.fbufs import FbufAllocator
+from repro.hw import DS5000_200, DataCache, HostCPU, MemorySystem, \
+    PhysicalMemory, TurboChannel
+from repro.host import HostOS
+from repro.sim import SimulationError, Simulator, spawn
+
+
+def _kernel():
+    sim = Simulator()
+    memory = PhysicalMemory(16 * 1024 * 1024, 4096,
+                            reserved_bytes=2 * 1024 * 1024)
+    cache = DataCache(DS5000_200.cache, memory)
+    tc = TurboChannel(sim, DS5000_200.bus)
+    cpu = HostCPU(sim, DS5000_200, MemorySystem(sim, DS5000_200, tc))
+    return sim, HostOS(sim, cpu, cache, memory)
+
+
+def test_first_allocation_is_uncached():
+    sim, kernel = _kernel()
+    alloc = FbufAllocator(kernel)
+    alloc.register_path(1, [kernel.create_domain("app")])
+    fbuf, cached = alloc.allocate(1)
+    assert not cached
+    assert alloc.uncached_allocations == 1
+
+
+def test_released_buffer_comes_back_cached():
+    sim, kernel = _kernel()
+    alloc = FbufAllocator(kernel)
+    domain = kernel.create_domain("app")
+    alloc.register_path(1, [domain])
+    fbuf, _ = alloc.allocate(1)
+    fbuf.mapped_domains.add(domain.name)  # simulated traversal
+    alloc.release(fbuf, 1)
+    again, cached = alloc.allocate(1)
+    assert cached
+    assert again is fbuf
+    assert domain.name in again.mapped_domains
+
+
+def test_unknown_path_rejected():
+    sim, kernel = _kernel()
+    alloc = FbufAllocator(kernel)
+    with pytest.raises(SimulationError):
+        alloc.allocate(99)
+
+
+def test_mru_eviction_clears_mappings():
+    sim, kernel = _kernel()
+    alloc = FbufAllocator(kernel, cached_paths=2)
+    domains = {}
+    for pid in (1, 2, 3):
+        domains[pid] = kernel.create_domain(f"d{pid}")
+        alloc.register_path(pid, [domains[pid]])
+    fbuf, _ = alloc.allocate(1)
+    fbuf.mapped_domains.add(domains[1].name)
+    alloc.release(fbuf, 1)
+    # Touch two other paths: path 1 falls out of the 2-entry MRU.
+    alloc.allocate(2)
+    alloc.allocate(3)
+    refetched, cached = alloc.allocate(1)
+    assert not cached
+    assert not refetched.mapped_domains or refetched is not fbuf
+
+
+def test_cached_transfer_is_order_of_magnitude_cheaper():
+    """The section 3.1 claim, measured through the cost model."""
+    sim, kernel = _kernel()
+    alloc = FbufAllocator(kernel)
+    domain = kernel.create_domain("server")
+    alloc.register_path(1, [domain])
+    times = {}
+
+    def rig():
+        fbuf, _ = alloc.allocate(1)
+        start = sim.now
+        yield from alloc.transfer(fbuf, 1, domain)  # uncached: maps
+        times["uncached"] = sim.now - start
+        start = sim.now
+        yield from alloc.transfer(fbuf, 1, domain)  # now cached
+        times["cached"] = sim.now - start
+
+    spawn(sim, rig())
+    sim.run()
+    assert times["uncached"] > times["cached"] * 8
+
+
+def test_cross_domain_comparison_ordering():
+    """Cached fbufs beat uncached fbufs beat copies, for 16 KB
+    buffers across two domains on the DECstation."""
+    result = compare_cross_domain(DS5000_200, buffer_bytes=16 * 1024,
+                                  n_domains=2, n_buffers=30)
+    assert result.cached_fbuf_mbps > result.uncached_fbuf_mbps
+    assert result.uncached_fbuf_mbps > result.copy_mbps
+    assert result.cached_fbuf_mbps > 8 * result.copy_mbps
+
+
+def test_more_domains_hurt_copies_most():
+    two = compare_cross_domain(DS5000_200, 16 * 1024, n_domains=2,
+                               n_buffers=20)
+    three = compare_cross_domain(DS5000_200, 16 * 1024, n_domains=3,
+                                 n_buffers=20)
+    bits = 16 * 1024 * 8
+    copy_extra_us = bits / three.copy_mbps - bits / two.copy_mbps
+    cached_extra_us = (bits / three.cached_fbuf_mbps
+                       - bits / two.cached_fbuf_mbps)
+    # The third domain costs a copy path ~domain_crossing + a full
+    # 16 KB copy; a cached fbuf pays only the fixed handoff.
+    assert copy_extra_us > 20 * cached_extra_us

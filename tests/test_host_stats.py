@@ -1,0 +1,53 @@
+"""Host statistics snapshot tests."""
+
+from repro.hw import DS5000_200
+from repro.net import BackToBack, HostStats, snapshot
+from repro.sim import spawn
+
+
+def test_snapshot_after_traffic():
+    net = BackToBack(DS5000_200)
+    app_a, app_b = net.open_udp_pair(echo_b=False)
+
+    def go():
+        for _ in range(5):
+            yield from app_a.send_length(4096)
+
+    spawn(net.sim, go(), "s")
+    net.sim.run()
+
+    a = net.a.stats()
+    b = net.b.stats()
+    assert isinstance(a, HostStats)
+    assert a.pdus_sent == 5
+    assert b.pdus_received == 5
+    assert a.cells_sent == b.cells_received
+    assert b.interrupts_serviced >= 1
+    assert a.pages_wired > 0
+    assert 0.0 < a.bus_utilization < 1.0
+    assert b.rx_dma_transactions > 0
+    assert b.rx_fifo_drops == 0
+
+
+def test_render_is_human_readable():
+    net = BackToBack(DS5000_200)
+    net.sim.run_until(10.0)
+    text = net.a.stats().render()
+    assert "Host 'a'" in text
+    assert "bus_utilization" in text
+    assert "pdus_sent" in text
+
+
+def test_snapshot_is_frozen_value():
+    net = BackToBack(DS5000_200)
+    before = net.a.stats()
+    app_a, app_b = net.open_udp_pair(echo_b=False)
+
+    def go():
+        yield from app_a.send_length(1024)
+
+    spawn(net.sim, go(), "s")
+    net.sim.run()
+    after = net.a.stats()
+    assert before.pdus_sent == 0     # old snapshot unchanged
+    assert after.pdus_sent == 1

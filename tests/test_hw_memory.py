@@ -1,0 +1,125 @@
+"""Unit tests for physical memory, dual-port memory, test-and-set."""
+
+import pytest
+
+from repro.hw import (
+    DualPortMemory, OutOfMemory, PhysicalMemory, TestAndSetRegister,
+)
+from repro.sim import Fidelity, SimulationError
+
+
+@pytest.fixture
+def mem():
+    return PhysicalMemory(size_bytes=8 * 1024 * 1024, page_size=4096,
+                          reserved_bytes=1024 * 1024)
+
+
+def test_read_write_roundtrip(mem):
+    mem.write(0x1000, b"osiris")
+    assert mem.read(0x1000, 6) == b"osiris"
+
+
+def test_out_of_range_access_rejected(mem):
+    with pytest.raises(SimulationError):
+        mem.read(mem.size_bytes - 2, 4)
+    with pytest.raises(SimulationError):
+        mem.write(-4, b"xxxx")
+
+
+def test_frame_allocation_is_scrambled(mem):
+    # Consecutive allocations must generally NOT be physically adjacent:
+    # this is the fragmentation premise of section 2.2.
+    addrs = [mem.alloc_frame() for _ in range(32)]
+    adjacent = sum(
+        1 for a, b in zip(addrs, addrs[1:]) if b == a + mem.page_size)
+    assert adjacent < 8
+    assert len(set(addrs)) == 32
+    for addr in addrs:
+        assert addr % mem.page_size == 0
+        assert addr >= mem.reserved_bytes
+
+
+def test_frame_free_and_reuse(mem):
+    addr = mem.alloc_frame()
+    before = mem.free_frame_count
+    mem.free_frame(addr)
+    assert mem.free_frame_count == before + 1
+
+
+def test_free_unallocated_frame_rejected(mem):
+    with pytest.raises(SimulationError):
+        mem.free_frame(mem.reserved_bytes)
+
+
+def test_frames_exhaust(mem):
+    total = mem.free_frame_count
+    for _ in range(total):
+        mem.alloc_frame()
+    with pytest.raises(OutOfMemory):
+        mem.alloc_frame()
+
+
+def test_contiguous_pool_is_contiguous_and_bounded(mem):
+    a = mem.alloc_contiguous(16 * 1024)
+    b = mem.alloc_contiguous(16 * 1024)
+    assert b == a + 16 * 1024
+    with pytest.raises(OutOfMemory):
+        mem.alloc_contiguous(2 * 1024 * 1024)
+
+
+def test_best_effort_contiguous_frames(mem):
+    addr = mem.try_alloc_contiguous_frames(4)
+    assert addr is not None
+    assert addr % mem.page_size == 0
+    # The four frames are gone from the free list.
+    frames = {addr + i * mem.page_size for i in range(4)}
+    more = {mem.alloc_frame() for _ in range(mem.free_frame_count)}
+    assert not (frames & more)
+
+
+def test_timing_only_fidelity_skips_data(
+
+):
+    mem = PhysicalMemory(size_bytes=1024 * 1024, page_size=4096,
+                         fidelity=Fidelity.timing_only(),
+                         reserved_bytes=64 * 1024)
+    mem.write(0, b"data")
+    assert mem.read(0, 4) == b"\x00\x00\x00\x00"
+
+
+def test_dualport_word_roundtrip():
+    dp = DualPortMemory(1024)
+    dp.write_word(0, 0xDEADBEEF, by_host=True)
+    assert dp.read_word(0, by_host=False) == 0xDEADBEEF
+    assert dp.host_writes == 1
+    assert dp.board_reads == 1
+
+
+def test_dualport_masks_to_32_bits():
+    dp = DualPortMemory(1024)
+    dp.write_word(4, 0x1_0000_0001, by_host=False)
+    assert dp.read_word(4, by_host=True) == 1
+
+
+def test_dualport_rejects_unaligned_and_out_of_range():
+    dp = DualPortMemory(1024)
+    with pytest.raises(SimulationError):
+        dp.read_word(3, by_host=True)
+    with pytest.raises(SimulationError):
+        dp.write_word(1024, 0, by_host=True)
+
+
+def test_test_and_set_semantics():
+    tas = TestAndSetRegister()
+    assert tas.test_and_set()
+    assert not tas.test_and_set()
+    assert tas.failed_attempts == 1
+    tas.clear()
+    assert tas.test_and_set()
+    assert tas.acquisitions == 2
+
+
+def test_clear_free_register_rejected():
+    tas = TestAndSetRegister()
+    with pytest.raises(SimulationError):
+        tas.clear()

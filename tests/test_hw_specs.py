@@ -1,0 +1,75 @@
+"""The bus constants must reproduce the paper's section 2.5.1 ceilings."""
+
+import pytest
+
+from repro.hw import (
+    AAL_PAYLOAD_BYTES, BusSpec, DEC3000_600, DS5000_200, with_costs,
+)
+
+
+@pytest.fixture
+def bus():
+    return BusSpec()
+
+
+def test_peak_bandwidth_is_800_mbps(bus):
+    assert bus.peak_mbps == pytest.approx(800.0)
+
+
+def test_single_cell_transmit_ceiling_367(bus):
+    # (paper) 11/(11+13) * 800 = 367 Mbps
+    assert bus.dma_read_ceiling_mbps(AAL_PAYLOAD_BYTES) == \
+        pytest.approx(366.67, abs=0.5)
+
+
+def test_single_cell_receive_ceiling_463(bus):
+    # (paper) 11/(11+8) * 800 = 463 Mbps
+    assert bus.dma_write_ceiling_mbps(AAL_PAYLOAD_BYTES) == \
+        pytest.approx(463.2, abs=0.5)
+
+
+def test_double_cell_transmit_ceiling_503(bus):
+    # (paper) 22/(22+13) * 800 = 503 Mbps
+    assert bus.dma_read_ceiling_mbps(2 * AAL_PAYLOAD_BYTES) == \
+        pytest.approx(502.9, abs=0.5)
+
+
+def test_double_cell_receive_ceiling_587(bus):
+    # (paper) 22/(22+8) * 800 = 587 Mbps
+    assert bus.dma_write_ceiling_mbps(2 * AAL_PAYLOAD_BYTES) == \
+        pytest.approx(586.7, abs=0.5)
+
+
+def test_overhead_shrinks_with_length(bus):
+    # Paper: going 44 -> 88 bytes cuts receive overhead from 42% to 26%.
+    single = bus.dma_write_us(44)
+    double = bus.dma_write_us(88)
+    overhead_single = 1 - (11 * bus.cycle_us) / single
+    overhead_double = 1 - (22 * bus.cycle_us) / double
+    assert overhead_single == pytest.approx(8 / 19)
+    assert overhead_double == pytest.approx(8 / 30)
+
+
+def test_dma_cost_rounds_partial_words_up(bus):
+    assert bus.dma_write_us(1) == bus.dma_write_us(4)
+    assert bus.dma_write_us(5) > bus.dma_write_us(4)
+
+
+def test_machines_have_expected_character():
+    assert DS5000_200.shared_memory_path
+    assert not DS5000_200.cache.coherent_with_dma
+    assert not DEC3000_600.shared_memory_path
+    assert DEC3000_600.cache.coherent_with_dma
+    assert DS5000_200.costs.interrupt_service == 75.0  # (paper)
+
+
+def test_invalidate_cost_one_cycle_per_word():
+    # 16 KB = 4096 words => 4096 cycles at 25 MHz = 163.84 us.
+    assert DS5000_200.invalidate_us(16 * 1024) == pytest.approx(163.84)
+
+
+def test_with_costs_overrides_single_field():
+    tweaked = with_costs(DS5000_200, interrupt_service=10.0)
+    assert tweaked.costs.interrupt_service == 10.0
+    assert tweaked.costs.driver_rx_pdu == DS5000_200.costs.driver_rx_pdu
+    assert DS5000_200.costs.interrupt_service == 75.0

@@ -1,0 +1,93 @@
+"""Board layout, demux tables and buffer pool tests."""
+
+import pytest
+
+from repro.osiris import Descriptor, N_CHANNELS
+from repro.sim import SimulationError
+
+from conftest import BoardRig
+
+
+def test_board_has_16_channels(rig):
+    assert len(rig.board.channels) == N_CHANNELS
+    # Queues live in disjoint dual-port regions.
+    bases = set()
+    for ch in rig.board.channels:
+        for q in (ch.tx_queue, ch.free_queue, ch.recv_queue):
+            assert q.base not in bases
+            bases.add(q.base)
+
+
+def test_queues_sized_per_paper(rig):
+    ch = rig.board.kernel_channel
+    # (paper) free/receive queues of 64 buffers each, 16 KB buffers.
+    assert ch.free_queue.size == 64
+    assert ch.recv_queue.size == 64
+    assert rig.board.spec.recv_buffer_bytes == 372 * 44  # ~16 KB
+    assert rig.board.spec.dualport_bytes == 128 * 1024
+
+
+def test_vci_binding(rig):
+    rig.board.bind_vci(10, 3)
+    assert rig.board.vci_table[10] == 3
+    assert 10 in rig.board.channels[3].vcis
+    with pytest.raises(SimulationError):
+        rig.board.bind_vci(10, 4)
+    rig.board.unbind_vci(10)
+    assert 10 not in rig.board.vci_table
+
+
+def test_open_close_channel(rig):
+    ch = rig.board.open_channel(2, priority=1, allowed_pages={0x1000})
+    assert ch.open
+    with pytest.raises(SimulationError):
+        rig.board.open_channel(2)
+    rig.board.bind_vci(33, 2)
+    rig.board.close_channel(2)
+    assert not ch.open
+    assert 33 not in rig.board.vci_table
+
+
+def test_free_buffer_intake_sorts_pools(rig):
+    ch = rig.board.kernel_channel
+    rig.feed_free_buffers(2, vci=0)        # anonymous
+    rig.feed_free_buffers(3, vci=9)        # cached fbufs for path 9
+    taken = rig.board.intake_free_buffers(ch)
+    assert taken == 5
+    assert len(ch.anon_pool) == 2
+    assert len(ch.path_pools[9]) == 3
+
+
+def test_take_receive_buffer_prefers_path_pool(rig):
+    ch = rig.board.kernel_channel
+    rig.feed_free_buffers(1, vci=0)
+    rig.feed_free_buffers(1, vci=9)
+    desc = rig.board.take_receive_buffer(ch, vci=9)
+    assert desc.vci == 9
+    assert ch.cached_buffer_hits == 1
+    # Path pool exhausted: falls back to the anonymous pool.
+    desc2 = rig.board.take_receive_buffer(ch, vci=9)
+    assert desc2.vci == 0
+    assert ch.uncached_buffer_uses == 1
+    assert rig.board.take_receive_buffer(ch, vci=9) is None
+
+
+def test_page_authorization(rig):
+    page = rig.machine.page_size
+    ch = rig.board.open_channel(1, allowed_pages={4 * page, 5 * page})
+    assert ch.page_authorized(4 * page, 100, page)
+    assert ch.page_authorized(4 * page + 100, 2 * page - 200, page)
+    assert not ch.page_authorized(3 * page, 10, page)
+    assert not ch.page_authorized(5 * page, page + 1, page)  # runs into 6
+
+
+def test_kernel_channel_unrestricted(rig):
+    ch = rig.board.kernel_channel
+    assert ch.page_authorized(0x123456, 99999, rig.machine.page_size)
+
+
+def test_rx_fifo_drops_when_full(rig):
+    from repro.atm import Cell
+    for i in range(rig.board.spec.fifo_cells + 5):
+        rig.board.deliver_cell(Cell(vci=1, payload=b""))
+    assert rig.board.rx_fifo_drops == 5

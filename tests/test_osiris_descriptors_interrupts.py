@@ -1,0 +1,82 @@
+"""Descriptor encoding and interrupt-line unit/property tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.osiris import (
+    Descriptor, FLAG_END_OF_PDU, FLAG_ERROR, InterruptKind, InterruptLine,
+    WORDS_PER_DESCRIPTOR,
+)
+from repro.sim import SimulationError, Simulator
+
+
+# -- descriptors -----------------------------------------------------------------
+
+def test_descriptor_flags():
+    d = Descriptor(addr=0x1000, length=10, flags=FLAG_END_OF_PDU)
+    assert d.end_of_pdu and not d.error
+    e = Descriptor(addr=0x1000, length=10,
+                   flags=FLAG_END_OF_PDU | FLAG_ERROR)
+    assert e.end_of_pdu and e.error
+
+
+def test_descriptor_word_roundtrip():
+    d = Descriptor(addr=0xABCD00, length=16368, flags=3, vci=777)
+    assert Descriptor.from_words(d.to_words()) == d
+    assert len(d.to_words()) == WORDS_PER_DESCRIPTOR
+
+
+@given(st.integers(0, 0xFFFFFFFF), st.integers(0, 0xFFFFFFFF),
+       st.integers(0, 3), st.integers(0, 0xFFFF))
+def test_descriptor_roundtrip_property(addr, length, flags, vci):
+    d = Descriptor(addr=addr, length=length, flags=flags, vci=vci)
+    assert Descriptor.from_words(d.to_words()) == d
+
+
+def test_descriptor_field_validation():
+    with pytest.raises(SimulationError):
+        Descriptor(addr=-1, length=0)
+    with pytest.raises(SimulationError):
+        Descriptor(addr=0, length=1 << 33)
+    with pytest.raises(SimulationError):
+        Descriptor(addr=0, length=0, vci=1 << 17)
+
+
+def test_descriptor_repr_marks():
+    d = Descriptor(addr=0x10, length=5, flags=FLAG_END_OF_PDU | FLAG_ERROR)
+    assert "E" in repr(d) and "!" in repr(d)
+
+
+# -- interrupt line -----------------------------------------------------------------
+
+def test_interrupt_dispatch_after_wire_delay():
+    sim = Simulator()
+    line = InterruptLine(sim, assert_delay_us=2.5)
+    fired = []
+    line.register_handler(lambda kind, ch: fired.append((sim.now, kind, ch)))
+    line.assert_irq(InterruptKind.RECEIVE, 3)
+    sim.run()
+    assert fired == [(2.5, InterruptKind.RECEIVE, 3)]
+    assert line.counts[InterruptKind.RECEIVE] == 1
+    assert line.total == 1
+
+
+def test_interrupt_without_handler_is_counted_not_lost():
+    sim = Simulator()
+    line = InterruptLine(sim)
+    line.assert_irq(InterruptKind.PROTECTION_VIOLATION, 1)
+    sim.run()
+    assert line.counts[InterruptKind.PROTECTION_VIOLATION] == 1
+
+
+def test_interrupt_kinds_counted_separately():
+    sim = Simulator()
+    line = InterruptLine(sim)
+    line.register_handler(lambda kind, ch: None)
+    for _ in range(3):
+        line.assert_irq(InterruptKind.RECEIVE)
+    line.assert_irq(InterruptKind.TRANSMIT_SPACE)
+    sim.run()
+    assert line.counts[InterruptKind.RECEIVE] == 3
+    assert line.counts[InterruptKind.TRANSMIT_SPACE] == 1
+    assert line.total == 4

@@ -1,0 +1,162 @@
+"""Lock-free descriptor queue tests, including property-based checks of
+the paper's head/tail invariants."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hw import DualPortMemory
+from repro.osiris import Descriptor, DescriptorQueue, queue_region_bytes
+from repro.sim import SimulationError
+
+
+def _queue(size=8, host_is_writer=True):
+    dp = DualPortMemory(8192)
+    return DescriptorQueue(dp, 0, size, host_is_writer, name="t")
+
+
+def _desc(i):
+    return Descriptor(addr=0x1000 * (i + 1), length=100 + i, vci=i % 7)
+
+
+def test_new_queue_is_empty():
+    q = _queue()
+    assert q.is_empty(by_host=True)
+    assert not q.is_full(by_host=True)
+    assert q.occupancy(by_host=False) == 0
+
+
+def test_push_pop_roundtrip():
+    q = _queue()
+    d = Descriptor(addr=0x4000, length=1234, flags=1, vci=42)
+    assert q.push(d)
+    got = q.pop()
+    assert got == d
+    assert got.end_of_pdu
+
+
+def test_fifo_order():
+    q = _queue(size=8)
+    for i in range(5):
+        assert q.push(_desc(i))
+    assert [q.pop() for _ in range(5)] == [_desc(i) for i in range(5)]
+
+
+def test_capacity_is_size_minus_one():
+    q = _queue(size=8)
+    for i in range(7):
+        assert q.push(_desc(i))
+    assert q.is_full(by_host=True)
+    assert not q.push(_desc(99))
+
+
+def test_pop_empty_returns_none():
+    q = _queue()
+    assert q.pop() is None
+
+
+def test_wraparound():
+    q = _queue(size=4)
+    for round_ in range(10):
+        assert q.push(_desc(round_))
+        assert q.pop() == _desc(round_)
+    assert q.is_empty(by_host=True)
+
+
+def test_peek_does_not_consume():
+    q = _queue()
+    q.push(_desc(1))
+    assert q.peek() == _desc(1)
+    assert q.peek() == _desc(1)
+    assert q.pop() == _desc(1)
+
+
+def test_wrong_side_operations_rejected():
+    q = _queue(host_is_writer=True)
+    with pytest.raises(SimulationError):
+        q.push(_desc(0), by_host=False)   # board is the reader here
+    with pytest.raises(SimulationError):
+        q.pop(by_host=True)               # host is the writer here
+
+
+def test_nonempty_signal_fires_on_transition_only():
+    q = _queue()
+    fires = []
+    q.became_nonempty.subscribe(lambda v: fires.append(1))
+    q.push(_desc(0))       # empty -> non-empty: fires
+    q.push(_desc(1))       # non-empty: no fire
+    assert len(fires) == 1
+    q.pop()
+    q.pop()
+    q.push(_desc(2))       # transition again
+    assert len(fires) == 2
+
+
+def test_nonfull_signal_fires_when_full_drains():
+    q = _queue(size=4)
+    fires = []
+    q.became_nonfull.subscribe(lambda v: fires.append(1))
+    for i in range(3):
+        q.push(_desc(i))
+    assert q.is_full(by_host=True)
+    q.pop()
+    assert len(fires) == 1
+    q.pop()
+    assert len(fires) == 1
+
+
+def test_access_counters_track_word_operations():
+    q = _queue()
+    q.host_access.reset()
+    q.push(_desc(0))
+    # head load + tail load + 4 entry stores + head store
+    assert q.host_access.reads == 2
+    assert q.host_access.writes == 5
+    q.board_access.reset()
+    q.pop()
+    assert q.board_access.reads == 2 + 4
+    assert q.board_access.writes == 1
+
+
+def test_queue_region_must_fit():
+    dp = DualPortMemory(64)
+    with pytest.raises(SimulationError):
+        DescriptorQueue(dp, 0, 64, host_is_writer=True)
+
+
+def test_queue_region_bytes():
+    assert queue_region_bytes(64) == 8 + 64 * 16
+
+
+def test_state_lives_in_dual_port_memory():
+    """The queue is *in* the shared memory: a second view over the same
+    region sees the same state (what the board and host actually do)."""
+    dp = DualPortMemory(8192)
+    writer_view = DescriptorQueue(dp, 0, 8, host_is_writer=True)
+    writer_view.push(_desc(3))
+    # Head pointer visible at word 0, raw.
+    assert dp.read_word(0, by_host=False) == 1
+    assert dp.read_word(8, by_host=False) == _desc(3).addr
+
+
+@given(st.lists(st.sampled_from(["push", "pop"]), max_size=200))
+def test_queue_never_corrupts_under_any_interleaving(ops):
+    """Property: under any push/pop interleaving the queue behaves as a
+    bounded FIFO (the lock-free invariant of section 2.1.1)."""
+    q = _queue(size=5)
+    model = []
+    counter = 0
+    for op in ops:
+        if op == "push":
+            desc = _desc(counter % 50)
+            ok = q.push(desc)
+            assert ok == (len(model) < q.capacity)
+            if ok:
+                model.append(desc)
+                counter += 1
+        else:
+            got = q.pop()
+            if model:
+                assert got == model.pop(0)
+            else:
+                assert got is None
+    assert q.occupancy(by_host=True) == len(model)

@@ -1,0 +1,141 @@
+"""Receiver overload with prioritized traffic (section 3.1, end).
+
+'The threads that de-queue buffers from the various receive queues may
+be assigned priorities ... During phases of receiver overload,
+lower-priority receive queues will become full before higher priority
+ones, allowing the adaptor board to drop the lower priority packets
+before they have consumed any processing resources on the host.'
+
+The mechanics under test: early demultiplexing gives each channel its
+own receive queue and buffer pool, so an unserviced (low-priority)
+channel overflows *on the board* while a serviced channel is
+unaffected -- no host cycles are spent on the dropped traffic.
+"""
+
+import pytest
+
+from repro.atm import segment
+from repro.osiris import Descriptor, InterruptKind, RxProcessor
+from repro.sim import Delay, spawn
+
+from conftest import BoardRig
+
+
+def _flood(rig, vci, pdus, size=600):
+    cells = []
+    for _ in range(pdus):
+        cells += segment(b"x" * size, vci=vci)
+
+    def feeder():
+        for cell in cells:
+            yield rig.board.rx_fifo.put(cell)
+
+    spawn(rig.sim, feeder(), f"flood-{vci}")
+
+
+def _feed_channel_buffers(rig, channel_id, count):
+    size = rig.board.spec.recv_buffer_bytes
+    channel = rig.board.channels[channel_id]
+    for _ in range(count):
+        addr = rig.memory.alloc_contiguous(size)
+        channel.free_queue.push(
+            Descriptor(addr=addr, length=size, vci=0), by_host=True)
+
+
+def test_overload_isolated_to_unserviced_channel(rig):
+    high = rig.board.open_channel(1, priority=0)
+    low = rig.board.open_channel(2, priority=5)
+    rig.board.bind_vci(11, 1)
+    rig.board.bind_vci(22, 2)
+    _feed_channel_buffers(rig, 1, 8)
+    _feed_channel_buffers(rig, 2, 2)   # the overloaded channel's pool
+    rxp = RxProcessor(rig.sim, rig.board)
+
+    # The host services only the high-priority channel.
+    def high_priority_thread():
+        drained = 0
+        while drained < 30:
+            desc = high.recv_queue.pop(by_host=True)
+            if desc is None:
+                yield high.recv_queue.became_nonempty
+                continue
+            drained += 1
+            # Recycle the buffer promptly.
+            high.free_queue.push(
+                Descriptor(addr=desc.addr,
+                           length=rig.board.spec.recv_buffer_bytes),
+                by_host=True)
+
+    spawn(rig.sim, high_priority_thread(), "high-thread")
+    _flood(rig, 11, pdus=30)
+    _flood(rig, 22, pdus=30)
+    rig.sim.run()
+
+    # High-priority traffic: all delivered.
+    assert high.pdus_received == 30
+    assert high.cells_dropped == 0
+    # Low-priority traffic: dropped at the board once its two buffers
+    # and its receive queue filled -- the host never touched it.
+    assert low.cells_dropped > 0
+    assert low.pdus_received < 30
+    assert low.recv_queue.pops == 0  # zero host processing spent
+
+
+def test_drops_do_not_interrupt_the_host(rig):
+    """Dropped PDUs must not generate receive interrupts either."""
+    low = rig.board.open_channel(2, priority=5)
+    rig.board.bind_vci(22, 2)
+    _feed_channel_buffers(rig, 2, 1)
+    irqs = []
+    rig.board.irq.register_handler(lambda kind, ch: irqs.append((kind, ch)))
+    RxProcessor(rig.sim, rig.board)
+    _flood(rig, 22, pdus=20)
+    rig.sim.run()
+    receive_irqs = [c for k, c in irqs if k is InterruptKind.RECEIVE]
+    # Exactly one empty->non-empty transition: the queue filled and
+    # stayed full; overflow drops are silent.
+    assert receive_irqs.count(2) == 1
+    assert low.cells_dropped > 0
+
+
+def test_recovery_after_overload(rig):
+    """Once the host resumes service, the channel flows again."""
+    low = rig.board.open_channel(2, priority=5)
+    rig.board.bind_vci(22, 2)
+    _feed_channel_buffers(rig, 2, 2)
+    RxProcessor(rig.sim, rig.board)
+    _flood(rig, 22, pdus=20)
+    rig.sim.run()
+    dropped_before = low.cells_dropped
+    assert dropped_before > 0
+
+    # Host wakes up and drains everything, recycling buffers.
+    while True:
+        desc = low.recv_queue.pop(by_host=True)
+        if desc is None:
+            break
+        low.free_queue.push(
+            Descriptor(addr=desc.addr,
+                       length=rig.board.spec.recv_buffer_bytes),
+            by_host=True)
+    received_before = low.pdus_received
+    _flood(rig, 22, pdus=3)
+
+    def drain_thread():
+        got = 0
+        while got < 3:
+            desc = low.recv_queue.pop(by_host=True)
+            if desc is None:
+                yield low.recv_queue.became_nonempty
+                continue
+            if desc.end_of_pdu:
+                got += 1
+            low.free_queue.push(
+                Descriptor(addr=desc.addr,
+                           length=rig.board.spec.recv_buffer_bytes),
+                by_host=True)
+
+    spawn(rig.sim, drain_thread(), "drain")
+    rig.sim.run()
+    assert low.pdus_received >= received_before + 3
+    assert low.cells_dropped == dropped_before  # no new drops

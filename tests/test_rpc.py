@@ -1,0 +1,115 @@
+"""RPC layer tests, including the NFS-style page-multiple workload."""
+
+import pytest
+
+from repro.hw import DS5000_200
+from repro.net import BackToBack
+from repro.sim import spawn
+from repro.xkernel.protocols.rpc import RpcClient, RpcProtocol, RpcServer
+
+PAGE = DS5000_200.page_size
+PROC_READ = 1
+PROC_STAT = 2
+
+
+def _rpc_pair(net, vci=600):
+    """Client on host A, server on host B, raw driver paths."""
+    drv_a = net.a.driver.open_path(vci=vci)
+    client = RpcClient(RpcProtocol(net.a.cpu, net.a.sim), drv_a)
+    drv_b = net.b.driver.open_path(vci=vci)
+    server = RpcServer(RpcProtocol(net.b.cpu, net.b.sim), drv_b)
+    return client, server
+
+
+def test_call_reply_roundtrip():
+    net = BackToBack(DS5000_200)
+    client, server = _rpc_pair(net)
+    server.register(PROC_STAT, lambda req: b"stat:" + req)
+    result = {}
+
+    def go():
+        reply = yield from client.call(PROC_STAT, b"inode42")
+        result["reply"] = reply
+
+    spawn(net.sim, go(), "client")
+    net.sim.run()
+    assert result["reply"] == b"stat:inode42"
+    assert server.rpc.calls_served == 1
+
+
+def test_concurrent_calls_matched_by_xid():
+    net = BackToBack(DS5000_200)
+    client, server = _rpc_pair(net)
+    server.register(PROC_STAT, lambda req: req[::-1])
+    results = {}
+
+    def caller(tag, payload):
+        reply = yield from client.call(PROC_STAT, payload)
+        results[tag] = reply
+
+    spawn(net.sim, caller("x", b"abcdef"), "cx")
+    spawn(net.sim, caller("y", b"123456"), "cy")
+    net.sim.run()
+    assert results == {"x": b"fedcba", "y": b"654321"}
+
+
+def test_unknown_procedure_returns_empty():
+    net = BackToBack(DS5000_200)
+    client, server = _rpc_pair(net)
+    result = {}
+
+    def go():
+        result["reply"] = yield from client.call(99, b"?")
+
+    spawn(net.sim, go(), "client")
+    net.sim.run()
+    assert result["reply"] == b""
+
+
+def test_nfs_style_block_reads_preserve_full_pages():
+    """The section 2.5.2 scenario: 8 KB page-multiple NFS blocks.
+
+    The page-boundary DMA discipline must deliver each block intact --
+    full pages, no partial fill, no neighbouring-page bytes leaking in.
+    """
+    net = BackToBack(DS5000_200)
+    client, server = _rpc_pair(net)
+    blocks = {
+        k: bytes([0x40 + k]) * (2 * PAGE) for k in range(4)
+    }
+
+    def read_block(request: bytes) -> bytes:
+        return blocks[request[0]]
+
+    server.register(PROC_READ, read_block, service_us=120.0)
+    got = {}
+
+    def go():
+        for k in range(4):
+            reply = yield from client.call(PROC_READ, bytes([k]))
+            got[k] = reply
+
+    spawn(net.sim, go(), "client")
+    net.sim.run()
+    for k in range(4):
+        assert got[k] == blocks[k]
+        assert len(got[k]) == 2 * PAGE  # full pages, exactly
+
+
+def test_rpc_latency_dominated_by_round_trip():
+    """A null call costs about one round trip plus service time."""
+    net = BackToBack(DS5000_200)
+    client, server = _rpc_pair(net)
+    server.register(PROC_STAT, lambda req: b"ok")
+    marks = {}
+
+    def go():
+        start = net.sim.now
+        yield from client.call(PROC_STAT, b"")
+        marks["rtt"] = net.sim.now - start
+
+    spawn(net.sim, go(), "client")
+    net.sim.run()
+    # Raw-ATM 1-byte round trip is ~370 us on the DS; RPC adds its own
+    # per-call costs but must stay in that regime.
+    assert 300 < marks["rtt"] < 700

@@ -1,0 +1,134 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import SimulationError, Simulator
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_call_after_orders_by_time():
+    sim = Simulator()
+    fired = []
+    sim.call_after(5.0, lambda: fired.append("b"))
+    sim.call_after(1.0, lambda: fired.append("a"))
+    sim.call_after(9.0, lambda: fired.append("c"))
+    sim.run()
+    assert fired == ["a", "b", "c"]
+    assert sim.now == 9.0
+
+
+def test_same_time_events_fire_in_schedule_order():
+    sim = Simulator()
+    fired = []
+    for tag in range(10):
+        sim.call_after(3.0, lambda t=tag: fired.append(t))
+    sim.run()
+    assert fired == list(range(10))
+
+
+def test_call_at_in_past_raises():
+    sim = Simulator()
+    sim.call_after(10.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.call_at(5.0, lambda: None)
+
+
+def test_negative_delay_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.call_after(-1.0, lambda: None)
+
+
+def test_cancel_prevents_callback():
+    sim = Simulator()
+    fired = []
+    timer = sim.call_after(1.0, lambda: fired.append("x"))
+    timer.cancel()
+    sim.run()
+    assert fired == []
+    assert timer.cancelled
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    timer = sim.call_after(1.0, lambda: None)
+    timer.cancel()
+    timer.cancel()
+    sim.run()
+
+
+def test_run_until_advances_clock_even_with_no_events():
+    sim = Simulator()
+    sim.run_until(42.0)
+    assert sim.now == 42.0
+
+
+def test_run_until_only_runs_due_events():
+    sim = Simulator()
+    fired = []
+    sim.call_after(1.0, lambda: fired.append("early"))
+    sim.call_after(100.0, lambda: fired.append("late"))
+    sim.run_until(50.0)
+    assert fired == ["early"]
+    assert sim.now == 50.0
+    sim.run()
+    assert fired == ["early", "late"]
+
+
+def test_events_scheduled_during_run_are_processed():
+    sim = Simulator()
+    fired = []
+
+    def first():
+        fired.append("first")
+        sim.call_after(2.0, lambda: fired.append("chained"))
+
+    sim.call_after(1.0, first)
+    sim.run()
+    assert fired == ["first", "chained"]
+    assert sim.now == 3.0
+
+
+def test_peek_skips_cancelled_entries():
+    sim = Simulator()
+    t1 = sim.call_after(1.0, lambda: None)
+    sim.call_after(2.0, lambda: None)
+    t1.cancel()
+    assert sim.peek() == 2.0
+
+
+def test_run_while_stops_on_predicate():
+    sim = Simulator()
+    count = []
+
+    def tick():
+        count.append(1)
+        sim.call_after(1.0, tick)
+
+    sim.call_after(1.0, tick)
+    sim.run_while(lambda: len(count) < 5)
+    assert len(count) == 5
+
+
+def test_run_while_livelock_guard():
+    sim = Simulator()
+
+    def tick():
+        sim.call_now(tick)
+
+    sim.call_now(tick)
+    with pytest.raises(SimulationError):
+        sim.run_while(lambda: True, max_events=100)
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for _ in range(7):
+        sim.call_after(1.0, lambda: None)
+    sim.run()
+    assert sim.events_processed == 7

@@ -1,0 +1,194 @@
+"""Unit tests for resources and stores."""
+
+import pytest
+
+from repro.sim import Delay, Resource, SimulationError, Simulator, Store, spawn
+
+
+def test_resource_serializes_capacity_one():
+    sim = Simulator()
+    bus = Resource(sim, "bus", capacity=1)
+    log = []
+
+    def user(tag, hold):
+        yield from bus.use(hold)
+        log.append((tag, sim.now))
+
+    spawn(sim, user("a", 5.0))
+    spawn(sim, user("b", 3.0))
+    sim.run()
+    assert log == [("a", 5.0), ("b", 8.0)]
+
+
+def test_resource_capacity_two_runs_concurrently():
+    sim = Simulator()
+    pool = Resource(sim, "pool", capacity=2)
+    log = []
+
+    def user(tag):
+        yield from pool.use(4.0)
+        log.append((tag, sim.now))
+
+    for tag in "abc":
+        spawn(sim, user(tag))
+    sim.run()
+    assert log == [("a", 4.0), ("b", 4.0), ("c", 8.0)]
+
+
+def test_priority_request_served_first():
+    sim = Simulator()
+    bus = Resource(sim, "bus")
+    log = []
+
+    def holder():
+        yield from bus.use(10.0)
+
+    def user(tag, priority):
+        yield Delay(1.0)
+        grant = yield bus.request(priority)
+        log.append((tag, sim.now))
+        grant.release()
+
+    spawn(sim, holder())
+    spawn(sim, user("low", priority=5.0))
+    spawn(sim, user("high", priority=0.0))
+    sim.run()
+    assert [tag for tag, _ in log] == ["high", "low"]
+
+
+def test_double_release_raises():
+    sim = Simulator()
+    bus = Resource(sim, "bus")
+    errors = []
+
+    def user():
+        grant = yield bus.request()
+        grant.release()
+        try:
+            grant.release()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    spawn(sim, user())
+    sim.run()
+    assert len(errors) == 1
+
+
+def test_zero_capacity_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Resource(sim, "bad", capacity=0)
+
+
+def test_busy_time_accounting():
+    sim = Simulator()
+    bus = Resource(sim, "bus")
+
+    def user():
+        yield from bus.use(4.0)
+        yield Delay(6.0)
+        yield from bus.use(2.0)
+
+    spawn(sim, user())
+    sim.run()
+    assert bus.busy_time == pytest.approx(6.0)
+    assert bus.utilization() == pytest.approx(0.5)
+    assert bus.grants == 2
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim, "pipe")
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append((sim.now, item))
+
+    def producer():
+        yield Delay(7.0)
+        yield store.put("cell")
+
+    spawn(sim, consumer())
+    spawn(sim, producer())
+    sim.run()
+    assert got == [(7.0, "cell")]
+
+
+def test_store_preserves_fifo_order():
+    sim = Simulator()
+    store = Store(sim, "pipe")
+    got = []
+
+    def producer():
+        for i in range(5):
+            yield store.put(i)
+            yield Delay(1.0)
+
+    def consumer():
+        for _ in range(5):
+            item = yield store.get()
+            got.append(item)
+
+    spawn(sim, producer())
+    spawn(sim, consumer())
+    sim.run()
+    assert got == [0, 1, 2, 3, 4]
+
+
+def test_bounded_store_blocks_producer():
+    sim = Simulator()
+    store = Store(sim, "pipe", capacity=1)
+    times = []
+
+    def producer():
+        for i in range(3):
+            yield store.put(i)
+            times.append(sim.now)
+
+    def consumer():
+        for _ in range(3):
+            yield Delay(10.0)
+            yield store.get()
+
+    spawn(sim, producer())
+    spawn(sim, consumer())
+    sim.run()
+    # First put immediate; second put waits for first get at t=10; third at 20.
+    assert times == [0.0, 10.0, 20.0]
+
+
+def test_try_put_and_try_get():
+    sim = Simulator()
+    store = Store(sim, "pipe", capacity=2)
+    assert store.try_put("a")
+    assert store.try_put("b")
+    assert not store.try_put("c")
+    ok, item = store.try_get()
+    assert ok and item == "a"
+    assert store.try_put("c")
+    assert [store.try_get()[1] for _ in range(2)] == ["b", "c"]
+    ok, item = store.try_get()
+    assert not ok
+
+
+def test_multiple_getters_fifo():
+    sim = Simulator()
+    store = Store(sim, "pipe")
+    got = []
+
+    def consumer(tag):
+        item = yield store.get()
+        got.append((tag, item))
+
+    spawn(sim, consumer("first"))
+    spawn(sim, consumer("second"))
+
+    def producer():
+        yield Delay(1.0)
+        yield store.put("x")
+        yield store.put("y")
+
+    spawn(sim, producer())
+    sim.run()
+    assert got == [("first", "x"), ("second", "y")]

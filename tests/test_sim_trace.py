@@ -1,0 +1,67 @@
+"""Measurement helper tests (counters, series, throughput meters)."""
+
+import math
+
+import pytest
+
+from repro.sim import Counter, Series, Simulator, Throughput
+from repro.sim.trace import mbps_from_bytes, mean
+
+
+def test_counter():
+    c = Counter("events")
+    c.add()
+    c.add(4)
+    assert c.value == 5
+    assert "events" in repr(c)
+
+
+def test_series_stats():
+    s = Series("lat")
+    for t, v in enumerate([10.0, 20.0, 30.0, 40.0]):
+        s.record(float(t), v)
+    assert len(s) == 4
+    assert s.mean() == 25.0
+    assert s.percentile(50) == 25.0
+    assert s.percentile(0) == 10.0
+    assert s.percentile(100) == 40.0
+    assert s.stdev() == pytest.approx(12.909, abs=0.01)
+
+
+def test_series_empty_stats():
+    s = Series("empty")
+    assert math.isnan(s.mean())
+    assert math.isnan(s.percentile(50))
+    assert s.stdev() == 0.0
+
+
+def test_throughput_window():
+    sim = Simulator()
+    t = Throughput(sim, "rx")
+    t.account(1000)             # warm-up traffic
+    sim.call_after(10.0, lambda: None)
+    sim.run()
+    t.open_window()
+    t.account(5000)
+    sim.call_after(10.0, lambda: None)
+    sim.run()
+    # 5000 bytes in 10 us = 4000 Mbps; warm-up excluded.
+    assert t.window_bytes == 5000
+    assert t.mbps() == pytest.approx(4000.0)
+
+
+def test_throughput_zero_window():
+    sim = Simulator()
+    t = Throughput(sim, "rx")
+    t.open_window()
+    assert t.mbps() == 0.0
+
+
+def test_mbps_from_bytes():
+    assert mbps_from_bytes(1000, 8.0) == pytest.approx(1000.0)
+    assert mbps_from_bytes(1000, 0.0) == 0.0
+
+
+def test_mean():
+    assert mean([1.0, 2.0, 3.0]) == 2.0
+    assert math.isnan(mean([]))

@@ -1,0 +1,87 @@
+"""Event tracer tests."""
+
+import pytest
+
+from repro.hw import DS5000_200
+from repro.net import BackToBack
+from repro.sim import Simulator, Tracer, attach_board_tracer, \
+    attach_driver_tracer, spawn
+from repro.sim.tracing import TraceRecord
+
+
+def test_emit_and_select():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    tracer.emit("a", "x", "one")
+    sim.call_after(5.0, lambda: tracer.emit("b", "y"))
+    sim.run()
+    assert tracer.count() == 2
+    assert tracer.count(component="a") == 1
+    assert tracer.select(event="y")[0].time == 5.0
+
+
+def test_capacity_drops_and_reports():
+    sim = Simulator()
+    tracer = Tracer(sim, capacity=3)
+    for i in range(5):
+        tracer.emit("c", "e", str(i))
+    assert len(tracer.records) == 3
+    assert tracer.dropped == 2
+    assert "2 records dropped" in tracer.render()
+
+
+def test_disabled_tracer_records_nothing():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    tracer.enabled = False
+    tracer.emit("a", "x")
+    assert tracer.count() == 0
+
+
+def test_intervals_pairing():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    times = [(1.0, "start"), (3.0, "end"), (10.0, "start"), (14.0, "end")]
+    for t, event in times:
+        sim.call_at(t, lambda e=event: tracer.emit("c", e))
+    sim.run()
+    assert tracer.intervals("c", "start", "end") == [(1.0, 2.0),
+                                                     (10.0, 4.0)]
+
+
+def test_summary_counts():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    for _ in range(3):
+        tracer.emit("board", "cell-arrival")
+    tracer.emit("driver", "send-pdu")
+    summary = tracer.summary()
+    assert "cell-arrival" in summary and "3" in summary
+
+
+def test_traced_end_to_end_run():
+    net = BackToBack(DS5000_200)
+    tracer = Tracer(net.sim)
+    attach_board_tracer(tracer, net.b.board)
+    attach_driver_tracer(tracer, net.a.driver)
+    attach_driver_tracer(tracer, net.b.driver)
+    app_a, app_b = net.open_udp_pair(echo_b=False)
+
+    def go():
+        yield from app_a.send_length(4096)
+
+    spawn(net.sim, go(), "s")
+    net.sim.run()
+    assert len(app_b.receptions) == 1
+    # One cell-arrival per cell on the wire.
+    from repro.atm import cell_count
+    arrivals = tracer.count("board", "cell-arrival")
+    assert arrivals == net.link_ab.cells_sent
+    assert tracer.count("driver", "send-pdu") == 1
+    assert tracer.count("driver", "deliver-pdu") >= 1
+    assert tracer.count("board", "interrupt") >= 1
+    # The timeline renders without error and in time order.
+    rendered = tracer.render(limit=50)
+    assert "cell-arrival" in rendered
+    times = [r.time for r in tracer.records]
+    assert times == sorted(times)

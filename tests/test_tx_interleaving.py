@@ -1,0 +1,124 @@
+"""Fine-grained transmit multiplexing (section 2.5.1).
+
+'The host could queue a number of packets and the microprocessor
+could transmit one cell from each in turn.'  Interleaving trades a
+little single-stream efficiency for much better latency of small PDUs
+queued behind large ones.
+"""
+
+import pytest
+
+from repro.atm import Reassembler, cell_count
+from repro.osiris import TxProcessor
+
+from conftest import BoardRig
+
+
+def _reassemble_per_vci(cells):
+    reasm = {}
+    done = []
+    for cell in cells:
+        r = reasm.setdefault(cell.vci, Reassembler(cell.vci))
+        pdu = r.push(cell)
+        if pdu is not None:
+            done.append((cell.vci, pdu))
+    return done
+
+
+def test_interleaved_cells_alternate_between_channels(rig):
+    rig.board.open_channel(1)
+    rig.board.open_channel(2)
+    cells = []
+    txp = TxProcessor(rig.sim, rig.board, deliver=cells.append,
+                      interleave=True)
+    rig.queue_pdu(b"a" * 2000, vci=11, channel_id=1)
+    rig.queue_pdu(b"b" * 2000, vci=22, channel_id=2)
+    rig.sim.run()
+    # The first several cells must alternate VCIs, not run one PDU out.
+    head = [c.vci for c in cells[:10]]
+    assert 11 in head and 22 in head
+    transitions = sum(1 for x, y in zip(head, head[1:]) if x != y)
+    assert transitions >= 5
+
+
+def test_interleaved_pdus_reassemble_correctly(rig):
+    rig.board.open_channel(1)
+    rig.board.open_channel(2)
+    cells = []
+    txp = TxProcessor(rig.sim, rig.board, deliver=cells.append,
+                      interleave=True)
+    a = bytes(range(256)) * 12
+    b = b"Z" * 5000
+    rig.queue_pdu(a, vci=11, channel_id=1)
+    rig.queue_pdu(b, vci=22, channel_id=2)
+    rig.sim.run()
+    done = dict(_reassemble_per_vci(cells))
+    assert done[11] == a
+    assert done[22] == b
+    assert txp.pdus_sent == 2
+
+
+def test_interleaving_cuts_small_pdu_latency_behind_large_one(rig):
+    """A 100-byte PDU queued just after a 16 KB PDU."""
+    def run(interleave):
+        r = BoardRig()
+        r.board.open_channel(1)
+        r.board.open_channel(2)
+        finish = {}
+
+        def deliver(cell):
+            if cell.eom:
+                finish.setdefault(cell.vci, r.sim.now)
+
+        TxProcessor(r.sim, r.board, deliver=deliver,
+                    interleave=interleave)
+        r.queue_pdu(b"L" * 16384, vci=11, channel_id=1)
+        r.queue_pdu(b"s" * 100, vci=22, channel_id=2)
+        r.sim.run()
+        return finish
+
+    sequential = run(False)
+    interleaved = run(True)
+    # Sequential: the small PDU waits for all of the large one.
+    assert sequential[22] > sequential[11]
+    # Interleaved: the small PDU finishes long before the large one.
+    assert interleaved[22] < interleaved[11] * 0.2
+    assert interleaved[22] < sequential[22] * 0.1
+
+
+def test_interleaving_keeps_aggregate_throughput(rig):
+    def run(interleave):
+        r = BoardRig()
+        r.board.open_channel(1)
+        r.board.open_channel(2)
+        cells = []
+        TxProcessor(r.sim, r.board, deliver=cells.append,
+                    interleave=interleave)
+        r.queue_pdu(b"x" * 8192, vci=11, channel_id=1)
+        r.queue_pdu(b"y" * 8192, vci=22, channel_id=2)
+        r.sim.run()
+        return r.sim.now, len(cells)
+
+    seq_time, seq_cells = run(False)
+    il_time, il_cells = run(True)
+    assert seq_cells == il_cells
+    assert il_time == pytest.approx(seq_time, rel=0.05)
+
+
+def test_interleaved_stripes_by_pdu_local_index():
+    """Cell i of each PDU must ride link i mod 4 even when PDUs are
+    interleaved -- the invariant skew reassembly depends on."""
+    from repro.atm import StripedLink
+    from repro.sim import Simulator
+
+    r = BoardRig()
+    r.board.open_channel(1)
+    r.board.open_channel(2)
+    got = []
+    link = StripedLink(r.sim, deliver=got.append)
+    TxProcessor(r.sim, r.board, link=link, interleave=True)
+    r.queue_pdu(b"p" * 1000, vci=11, channel_id=1)
+    r.queue_pdu(b"q" * 1000, vci=22, channel_id=2)
+    r.sim.run()
+    for cell in got:
+        assert cell.link_id == cell.tx_index % 4

@@ -1,0 +1,139 @@
+"""x-kernel Message (buffer chain) unit and property tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.host import AddressSpace
+from repro.hw import DS5000_200, DataCache, PhysicalMemory
+from repro.sim import SimulationError
+from repro.xkernel import Message
+
+
+def _space():
+    mem = PhysicalMemory(16 * 1024 * 1024, 4096,
+                         reserved_bytes=2 * 1024 * 1024)
+    return AddressSpace(mem, "t"), mem
+
+
+def test_from_bytes_roundtrip():
+    space, _ = _space()
+    msg = Message.from_bytes(space, b"hello buffer chains")
+    assert msg.length == 19
+    assert msg.read_all() == b"hello buffer chains"
+
+
+def test_push_header_adds_separate_segment():
+    space, _ = _space()
+    msg = Message.from_bytes(space, b"payload")
+    before = msg.segment_count
+    msg.push_header(b"HDR!")
+    assert msg.segment_count == before + 1
+    assert msg.read_all() == b"HDR!payload"
+    # The header really is its own physical buffer (figure 1).
+    assert len(msg.physical_buffers()) >= 2
+
+
+def test_pop_bytes_strips_header():
+    space, _ = _space()
+    msg = Message.from_bytes(space, b"payload")
+    msg.push_header(b"HDR!")
+    assert msg.pop_bytes(4) == b"HDR!"
+    assert msg.read_all() == b"payload"
+
+
+def test_pop_bytes_can_split_a_segment():
+    space, _ = _space()
+    msg = Message.from_bytes(space, b"abcdefgh")
+    assert msg.pop_bytes(3) == b"abc"
+    assert msg.read_all() == b"defgh"
+    assert msg.pop_bytes(5) == b"defgh"
+    assert msg.length == 0
+
+
+def test_pop_beyond_end_rejected():
+    space, _ = _space()
+    msg = Message.from_bytes(space, b"xy")
+    with pytest.raises(SimulationError):
+        msg.pop_bytes(3)
+
+
+def test_subrange_shares_buffers_copy_free():
+    space, mem = _space()
+    msg = Message.from_bytes(space, b"0123456789" * 100)
+    sub = msg.subrange(100, 50)
+    assert sub.read_all() == (b"0123456789" * 100)[100:150]
+    # Writing through the parent is visible in the view: same bytes.
+    vaddr = msg.segments()[0][0]
+    space.write(vaddr + 100, b"Z" * 10)
+    assert sub.read_all()[:10] == b"Z" * 10
+
+
+def test_truncate_drops_tail():
+    space, _ = _space()
+    msg = Message.from_bytes(space, b"keepdrop")
+    msg.truncate(4)
+    assert msg.read_all() == b"keep"
+    with pytest.raises(SimulationError):
+        msg.truncate(100)
+
+
+def test_append_concatenates_and_adopts_release():
+    space, _ = _space()
+    released = []
+    a = Message.from_bytes(space, b"first|")
+    b = Message.from_bytes(space, b"second")
+    b.add_release(lambda: released.append("b"))
+    a.append(b)
+    assert a.read_all() == b"first|second"
+    a.release()
+    assert released == ["b"]
+    a.release()  # idempotent
+    assert released == ["b"]
+
+
+def test_read_through_cache_sees_stale_lines():
+    space, mem = _space()
+    cache = DataCache(DS5000_200.cache, mem)
+    msg = Message.from_bytes(space, b"A" * 64)
+    phys = msg.physical_buffers()[0]
+    cache.read(phys.addr, 64)            # warm the lines
+    mem.write(phys.addr, b"B" * 64)      # behind the cache's back
+    assert msg.read_all() == b"B" * 64             # memory view
+    assert msg.read_all(cache) == b"A" * 64        # stale cache view
+
+
+def test_physical_buffers_cover_all_segments():
+    space, _ = _space()
+    msg = Message.from_bytes(space, b"d" * 10000, offset=123)
+    msg.push_header(b"h" * 28)
+    bufs = msg.physical_buffers()
+    assert sum(b.length for b in bufs) == msg.length
+
+
+@given(st.binary(min_size=1, max_size=5000),
+       st.integers(0, 4095),
+       st.lists(st.integers(1, 64), max_size=3))
+def test_message_operations_property(data, offset, headers):
+    """Push arbitrary headers, pop them all back, recover the data."""
+    space, _ = _space()
+    msg = Message.from_bytes(space, data, offset=offset)
+    pushed = []
+    for i, size in enumerate(headers):
+        hdr = bytes([i % 256]) * size
+        msg.push_header(hdr)
+        pushed.append(hdr)
+    for hdr in reversed(pushed):
+        assert msg.pop_bytes(len(hdr)) == hdr
+    assert msg.read_all() == data
+    assert sum(b.length for b in msg.physical_buffers()) == len(data)
+
+
+@given(st.binary(min_size=2, max_size=3000),
+       st.data())
+def test_subrange_property(data, draw):
+    space, _ = _space()
+    msg = Message.from_bytes(space, data)
+    start = draw.draw(st.integers(0, len(data) - 1))
+    length = draw.draw(st.integers(1, len(data) - start))
+    assert msg.subrange(start, length).read_all() == \
+        data[start:start + length]
