@@ -71,6 +71,20 @@ class SkewModel:
                          mux_amplitude_us=jitter_us / 2.0,
                          switch_jitter_us=jitter_us, seed=seed)
 
+    def clone(self, seed_offset: int = 0) -> "SkewModel":
+        """A fresh :class:`SkewModel` with the same parameters but its
+        own RNG streams, offset by ``seed_offset``.
+
+        Every link in a fabric needs statistically identical but
+        independent skew; cloning with distinct offsets keeps the
+        per-link streams uncorrelated and the whole run deterministic.
+        """
+        return SkewModel(fixed_offsets_us=self.fixed_offsets_us,
+                         mux_amplitude_us=self.mux_amplitude_us,
+                         mux_period_cells=self.mux_period_cells,
+                         switch_jitter_us=self.switch_jitter_us,
+                         seed=self.seed + seed_offset)
+
     def delay_fn(self, link_id: int) -> Callable[[], float]:
         """Per-cell extra queueing delay callable for one link."""
 

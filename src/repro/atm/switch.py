@@ -34,8 +34,27 @@ class _OutputPort:
     """One output port: a FIFO of cells draining at line rate."""
 
     queue: Store
+    cells_enqueued: int = 0
     cells_forwarded: int = 0
     max_queue_seen: int = 0
+
+    @property
+    def cells_held(self) -> int:
+        """Cells accepted but not yet handed to the trunk: the queue
+        plus at most one cell inside the drain loop's delay."""
+        return self.cells_enqueued - self.cells_forwarded
+
+
+@dataclass(frozen=True)
+class PortStats:
+    """Snapshot of one output port's counters."""
+
+    trunk_id: int
+    lane: int
+    cells_enqueued: int
+    cells_forwarded: int
+    max_queue_seen: int
+    depth: int
 
 
 class CellSwitch:
@@ -58,6 +77,7 @@ class CellSwitch:
         self._routes: dict[int, tuple[int, int]] = {}
         self.cells_switched = 0
         self.cells_dropped = 0
+        self.cross_cells_injected = 0
 
     # -- fabric configuration --------------------------------------------------
 
@@ -112,6 +132,7 @@ class CellSwitch:
         if not port.queue.try_put(rewritten):
             self.cells_dropped += 1
             return
+        port.cells_enqueued += 1
         port.max_queue_seen = max(port.max_queue_seen, len(port.queue))
         self.cells_switched += 1
 
@@ -138,13 +159,38 @@ class CellSwitch:
             while self.sim.now < stop_at:
                 filler = Cell(vci=vci, payload=b"")
                 filler.link_id = lane
-                port.queue.try_put(filler)
+                self.cross_cells_injected += 1
+                if port.queue.try_put(filler):
+                    port.cells_enqueued += 1
+                    port.max_queue_seen = max(port.max_queue_seen,
+                                              len(port.queue))
+                else:
+                    self.cells_dropped += 1
                 yield Delay(interval)
 
         spawn(self.sim, pump(), f"cross-t{trunk_id}-l{lane}")
 
+    # -- observability --------------------------------------------------------------
+
     def port_depths(self, trunk_id: int) -> list[int]:
         return [len(p.queue) for p in self._trunks[trunk_id]]
 
+    def queued_cells(self) -> int:
+        """Cells currently inside the switch (queued or draining)."""
+        return sum(p.cells_held
+                   for ports in self._trunks.values() for p in ports)
 
-__all__ = ["CellSwitch"]
+    def port_stats(self) -> list[PortStats]:
+        """Per-port counter snapshots, ordered (trunk, lane)."""
+        return [
+            PortStats(trunk_id=trunk_id, lane=lane,
+                      cells_enqueued=port.cells_enqueued,
+                      cells_forwarded=port.cells_forwarded,
+                      max_queue_seen=port.max_queue_seen,
+                      depth=len(port.queue))
+            for trunk_id, ports in sorted(self._trunks.items())
+            for lane, port in enumerate(ports)
+        ]
+
+
+__all__ = ["CellSwitch", "PortStats"]

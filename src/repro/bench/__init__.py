@@ -5,7 +5,7 @@ from .harness import (
     measure_transmit_throughput, message_count_for,
 )
 from .latency import MESSAGE_SIZES, PAPER_TABLE_1, Table1Result, run_table1
-from .report import format_series, format_table, ratio_note
+from .report import format_series, format_table, jsonable, ratio_note, to_json
 from .throughput import (
     FIGURE_SIZES_KB, FigureResult, PAPER_FIGURE_2, PAPER_FIGURE_3,
     PAPER_FIGURE_4, run_figure2, run_figure3, run_figure4,
@@ -23,7 +23,7 @@ __all__ = [
     "run_figure2", "run_figure3", "run_figure4", "FigureResult",
     "FIGURE_SIZES_KB", "PAPER_FIGURE_2", "PAPER_FIGURE_3",
     "PAPER_FIGURE_4",
-    "format_table", "format_series", "ratio_note",
+    "format_table", "format_series", "ratio_note", "jsonable", "to_json",
     "pattern_data", "build_udp_packet", "build_ip_fragments",
     "udp_ip_message_pdus",
 ]

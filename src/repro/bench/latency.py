@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 
 from ..hw.specs import DEC3000_600, DS5000_200, MachineSpec
 from .harness import measure_round_trip
-from .report import format_table
+from .report import format_table, to_json
 
 MESSAGE_SIZES = (1, 1024, 2048, 4096)
 
@@ -36,6 +36,22 @@ class Table1Result:
         return format_table(
             "Table 1: Round-Trip Latencies (us)",
             "Machine / Protocol", MESSAGE_SIZES, display, unit="us")
+
+    def to_dict(self) -> dict:
+        return {
+            "table": "table1",
+            "unit": "us",
+            "message_sizes_bytes": list(MESSAGE_SIZES),
+            "measured": {f"{machine}/{protocol}": list(values)
+                         for (machine, protocol), values
+                         in self.rows.items()},
+            "paper": {f"{machine}/{protocol}": list(values)
+                      for (machine, protocol), values
+                      in PAPER_TABLE_1.items()},
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return to_json(self.to_dict(), indent=indent)
 
 
 def run_table1(rounds: int = 5) -> Table1Result:

@@ -1,8 +1,10 @@
-"""ASCII rendering of paper-style tables and figure series."""
+"""ASCII and JSON rendering of paper-style tables and figure series."""
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Optional, Sequence
+import json
+import math
+from typing import Any, Iterable, Mapping, Optional, Sequence
 
 
 def format_table(title: str, col_header: str,
@@ -77,6 +79,27 @@ def _sketch(xs: Sequence, series: Mapping[str, Sequence[float]],
     return "\n".join(lines)
 
 
+def jsonable(value: Any) -> Any:
+    """Recursively coerce to JSON-serializable types.  Non-finite
+    floats (the figures use NaN for missing points) become null;
+    mapping keys become strings."""
+    if isinstance(value, Mapping):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
+def to_json(payload: Any, indent: int = 2) -> str:
+    """Canonical JSON for benchmark artifacts: keys sorted and
+    non-finite floats nulled, so equal runs serialize to identical
+    bytes -- the property that lets trajectories be diffed across
+    PRs."""
+    return json.dumps(jsonable(payload), indent=indent, sort_keys=True)
+
+
 def ratio_note(measured: float, paper: float) -> str:
     """'361 vs paper 340 (1.06x)' -- used in EXPERIMENTS.md rows."""
     if paper == 0:
@@ -84,4 +107,5 @@ def ratio_note(measured: float, paper: float) -> str:
     return f"{measured:.0f} vs paper {paper:.0f} ({measured / paper:.2f}x)"
 
 
-__all__ = ["format_table", "format_series", "ratio_note"]
+__all__ = ["format_table", "format_series", "ratio_note",
+           "jsonable", "to_json"]

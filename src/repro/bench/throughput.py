@@ -12,7 +12,7 @@ from .harness import (
     ThroughputResult, measure_receive_throughput,
     measure_transmit_throughput,
 )
-from .report import format_series
+from .report import format_series, to_json
 
 # Message sizes in KB, as on the figures' x axes (1..256 KB).
 FIGURE_SIZES_KB = (1, 2, 4, 8, 16, 32, 64, 128, 256)
@@ -56,6 +56,20 @@ class FigureResult:
             note = ", ".join(f"{k} peaks ~{v}" for k, v in paper.items())
         return format_series(self.title, "KB", "Mbps",
                              self.sizes_kb, self.series, paper_note=note)
+
+    def to_dict(self, paper: Optional[dict] = None) -> dict:
+        return {
+            "figure": self.title,
+            "unit": "Mbps",
+            "sizes_kb": list(self.sizes_kb),
+            "series": {name: list(values)
+                       for name, values in self.series.items()},
+            "paper_peaks": dict(paper) if paper else None,
+        }
+
+    def to_json(self, paper: Optional[dict] = None,
+                indent: int = 2) -> str:
+        return to_json(self.to_dict(paper), indent=indent)
 
 
 def _sweep_receive(title: str, machine: MachineSpec, configs: dict,

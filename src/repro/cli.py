@@ -9,6 +9,7 @@ Usage::
     python -m repro all --quick
     python -m repro latency --machine alpha --size 4096 --protocol udp
     python -m repro receive --machine ds --size 16384 --dma double
+    python -m repro cluster --hosts 8 --pattern incast --seed 1 --json
 """
 
 from __future__ import annotations
@@ -20,7 +21,7 @@ import time
 from .bench import (
     PAPER_FIGURE_2, PAPER_FIGURE_3, PAPER_FIGURE_4, measure_receive_throughput,
     measure_round_trip, measure_transmit_throughput, run_figure2,
-    run_figure3, run_figure4, run_table1,
+    run_figure3, run_figure4, run_table1, to_json,
 )
 from .hw.dma import DmaMode
 from .hw.specs import DEC3000_600, DS5000_200, MachineSpec
@@ -52,14 +53,29 @@ def _sizes(args) -> tuple:
 
 
 def _cmd_table1(args) -> None:
-    print(run_table1(rounds=3 if args.quick else 5).render())
+    result = run_table1(rounds=3 if args.quick else 5)
+    print(result.to_json() if args.json else result.render())
 
 
 def _cmd_figure(args, runner, paper) -> None:
-    print(runner(_sizes(args)).render(paper))
+    result = runner(_sizes(args))
+    print(result.to_json(paper) if args.json else result.render(paper))
 
 
 def _cmd_all(args) -> None:
+    if args.json:
+        # One combined document, canonically serialized, so bench
+        # trajectories can be diffed across PRs.
+        payload = {
+            "table1": run_table1(rounds=3 if args.quick else 5).to_dict(),
+        }
+        for name, runner, paper in (
+                ("figure2", run_figure2, PAPER_FIGURE_2),
+                ("figure3", run_figure3, PAPER_FIGURE_3),
+                ("figure4", run_figure4, PAPER_FIGURE_4)):
+            payload[name] = runner(_sizes(args)).to_dict(paper)
+        print(to_json(payload))
+        return
     start = time.time()
     _cmd_table1(args)
     for runner, paper in ((run_figure2, PAPER_FIGURE_2),
@@ -68,6 +84,29 @@ def _cmd_all(args) -> None:
         print()
         _cmd_figure(args, runner, paper)
     print(f"\ntotal wall time: {time.time() - start:.0f} s")
+
+
+def _cmd_cluster(args) -> None:
+    from .atm.aal5 import SegmentMode
+    from .cluster import Fabric, WorkloadSpec, collect, run_workload
+    from .sim import SimulationError
+
+    segment = (SegmentMode.SEQUENCE if args.segment == "sequence"
+               else SegmentMode.IN_ORDER)
+    try:
+        fabric = Fabric(_machine(args.machine), args.hosts,
+                        n_switches=args.switches, segment_mode=segment)
+    except SimulationError as exc:
+        raise SystemExit(f"cluster: {exc}")
+    spec = WorkloadSpec(
+        pattern=args.pattern, kind=args.workload, seed=args.seed,
+        message_bytes=args.size, messages_per_client=args.messages,
+        rate_mbps=args.rate,
+        arrival="poisson" if args.poisson else "constant",
+        requests_per_client=args.messages)
+    result = run_workload(fabric, spec)
+    report = collect(fabric, result)
+    print(report.to_json() if args.json else report.render())
 
 
 def _cmd_latency(args) -> None:
@@ -112,10 +151,41 @@ def build_parser() -> argparse.ArgumentParser:
                        help="coarser, faster sweep")
         p.add_argument("--sizes", default=None,
                        help="comma-separated message sizes in KB")
+        p.add_argument("--json", action="store_true",
+                       help="machine-readable JSON output")
 
     for name in ("table1", "figure2", "figure3", "figure4", "all"):
         p = sub.add_parser(name)
         common(p)
+
+    cluster = sub.add_parser(
+        "cluster", help="run a workload over an N-host switched fabric")
+    cluster.add_argument("--hosts", type=int, default=8,
+                         help="number of hosts on the fabric")
+    cluster.add_argument("--pattern", default="incast",
+                         choices=("incast", "all2all", "pairs"))
+    cluster.add_argument("--workload", default="open",
+                         choices=("open", "rpc"),
+                         help="open-loop senders or closed-loop RPC mix")
+    cluster.add_argument("--machine", default="ds", help="ds | alpha")
+    cluster.add_argument("--switches", type=int, default=1,
+                         help="cell switches (hosts spread round-robin)")
+    cluster.add_argument("--size", type=int, default=4096,
+                         help="message size in bytes (open-loop)")
+    cluster.add_argument("--messages", type=int, default=8,
+                         help="messages (or RPC calls) per client")
+    cluster.add_argument("--rate", type=float, default=0.0,
+                         help="per-client offered rate in Mbps "
+                              "(0 = unpaced)")
+    cluster.add_argument("--poisson", action="store_true",
+                         help="Poisson instead of constant spacing")
+    cluster.add_argument("--segment", default="sequence",
+                         choices=("sequence", "in-order"),
+                         help="reassembly strategy at the receivers")
+    cluster.add_argument("--seed", type=int, default=1)
+    cluster.add_argument("--json", action="store_true",
+                         help="machine-readable JSON report")
+    cluster.set_defaults(func=_cmd_cluster)
 
     for name, fn in (("latency", _cmd_latency),
                      ("receive", _cmd_receive),

@@ -1,0 +1,23 @@
+"""Multi-host cluster: switched fabric, workload engine, metrics.
+
+The paper stops at two workstations back-to-back; this package scales
+the same building blocks out: N complete hosts on a VCI-routed
+switched fabric (:mod:`repro.cluster.fabric`), driven by open- and
+closed-loop client fleets (:mod:`repro.cluster.workloads`), observed
+through one aggregated report with a cell-conservation invariant
+(:mod:`repro.cluster.metrics`).
+"""
+
+from .fabric import FIRST_FLOW_VCI, Fabric, Flow, VciAllocator
+from .metrics import ClusterReport, collect
+from .workloads import (
+    PATTERNS, ClientResult, WorkloadResult, WorkloadSpec, client_rng,
+    pattern_flows, run_workload,
+)
+
+__all__ = [
+    "Fabric", "Flow", "VciAllocator", "FIRST_FLOW_VCI",
+    "ClusterReport", "collect",
+    "PATTERNS", "WorkloadSpec", "WorkloadResult", "ClientResult",
+    "pattern_flows", "client_rng", "run_workload",
+]

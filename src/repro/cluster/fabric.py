@@ -1,0 +1,347 @@
+"""A multi-host switched cell fabric.
+
+The paper measures two workstations back-to-back; everything larger
+was left to the network.  This module supplies that network: a
+:class:`Fabric` instantiates N complete hosts and wires each host's
+four-way striped uplink into an output-queued :class:`CellSwitch`
+(or several, full-meshed by inter-switch trunks), with a fabric-wide
+VCI allocation and routing manager on top.
+
+Topology per host::
+
+    host.txp -> StripedLink (4 lanes, skew) -> switch input
+    switch output trunk (4 ports, one per lane) -> host.board
+
+Each striped lane terminates in its own switch output port, so the
+paper's third skew cause -- 'different queuing delays experienced by
+cells on different links as they pass through distinct ports on the
+switches' -- is emergent: any two flows sharing an output trunk
+contend per lane, and the receiving board's reassembly strategies
+must ride out whatever ordering that produces.
+
+Flows are duplex and VCI-rewritten: the client sends on its own VCI,
+the switch rewrites to the server's VCI, and the reply takes the
+mirror route.  The switches route on input VCI alone, so the
+:class:`VciAllocator` hands out fabric-unique identifiers.
+
+The two-host, directly-wired topology the paper measured remains
+available as ``topology="direct"``; :class:`repro.net.BackToBack` is
+that special case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence, Union
+
+from ..atm.aal5 import SegmentMode
+from ..atm.link import OC3_MBPS
+from ..atm.striping import SkewModel, StripedLink
+from ..atm.switch import CellSwitch
+from ..hw.specs import STRIPE_LINKS, MachineSpec
+from ..sim import Fidelity, SimulationError, Simulator
+
+if TYPE_CHECKING:
+    from ..net.host_node import Host
+
+# Flow VCIs live below the ADC manager's range (0x4000..) and the
+# switch cross-traffic fillers (0xFFF0..).
+FIRST_FLOW_VCI = 0x1000
+LAST_FLOW_VCI = 0x3FFF
+
+
+class VciAllocator:
+    """Fabric-wide virtual circuit identifiers, one per flow endpoint.
+
+    The switches route on the input VCI alone (an output-queued switch
+    has no notion of an input port), so every endpoint VCI must be
+    unique across the whole fabric, not just per host.
+    """
+
+    def __init__(self, first: int = FIRST_FLOW_VCI,
+                 last: int = LAST_FLOW_VCI):
+        self._next = first
+        self._last = last
+
+    def alloc(self) -> int:
+        if self._next > self._last:
+            raise SimulationError("fabric VCI space exhausted")
+        vci = self._next
+        self._next += 1
+        return vci
+
+
+@dataclass(frozen=True)
+class Flow:
+    """A duplex path between two hosts, one VCI per direction.
+
+    The source sends on ``src_vci`` (rewritten to ``dst_vci`` in the
+    fabric); the destination replies on ``dst_vci`` (rewritten back).
+    """
+
+    src: int
+    dst: int
+    src_vci: int
+    dst_vci: int
+
+
+class Fabric:
+    """N hosts wired through one or more output-queued cell switches."""
+
+    def __init__(self, machines: Union[MachineSpec, Sequence[MachineSpec]],
+                 n_hosts: Optional[int] = None, *,
+                 n_switches: int = 1,
+                 topology: str = "switched",
+                 skew: Optional[SkewModel] = None,
+                 segment_mode: SegmentMode = SegmentMode.IN_ORDER,
+                 prop_delay_us: float = 2.0,
+                 switching_delay_us: float = 1.0,
+                 port_rate_mbps: float = OC3_MBPS,
+                 port_queue_cells: int = 256,
+                 fidelity: Optional[Fidelity] = None,
+                 names: Optional[Sequence[str]] = None,
+                 **host_kw):
+        # Deferred: repro.net.network subclasses Fabric, so importing
+        # repro.net at module scope here would be circular.
+        from ..net.host_node import Host
+
+        if isinstance(machines, MachineSpec):
+            machines = [machines] * (n_hosts if n_hosts else 2)
+        machines = list(machines)
+        if n_hosts is not None and n_hosts != len(machines):
+            raise SimulationError(
+                f"n_hosts={n_hosts} disagrees with {len(machines)} machines")
+        if len(machines) < 2:
+            raise SimulationError("a fabric needs at least two hosts")
+        if topology not in ("switched", "direct"):
+            raise SimulationError(f"unknown topology {topology!r}")
+        if topology == "direct" and len(machines) != 2:
+            raise SimulationError(
+                "direct topology is the two-host special case")
+
+        self.sim = Simulator()
+        self.topology = topology
+        self.skew = skew
+        self.segment_mode = segment_mode
+        if names is None:
+            names = [f"h{i}" for i in range(len(machines))]
+        self.hosts: list[Host] = [
+            Host(self.sim, spec, name=names[i], fidelity=fidelity, **host_kw)
+            for i, spec in enumerate(machines)
+        ]
+        self.vcis = VciAllocator()
+        self.flows: list[Flow] = []
+        self.switches: list[CellSwitch] = []
+        self.uplinks: list[StripedLink] = []
+        # host index -> (switch index, trunk id of its downlink).
+        self._attach: list[tuple[int, int]] = []
+        # (from switch, to switch) -> trunk id on the 'from' switch.
+        self._interswitch: dict[tuple[int, int], int] = {}
+        self._delivered = [0] * len(self.hosts)
+        self._uplink_arrived = [0] * len(self.hosts)
+
+        if topology == "direct":
+            self._wire_direct(prop_delay_us)
+        else:
+            self._wire_switched(n_switches, prop_delay_us,
+                                switching_delay_us, port_rate_mbps,
+                                port_queue_cells)
+
+    # -- wiring ------------------------------------------------------------------
+
+    def _wire_direct(self, prop_delay_us: float) -> None:
+        """Two hosts joined by striped links in both directions --
+        the paper's measurement topology, no switch in the middle."""
+        a, b = self.hosts
+        skew_ab = self.skew
+        skew_ba = self.skew.clone(1) if self.skew is not None else None
+        link_ab = StripedLink(self.sim, self._deliver_fn(1), skew=skew_ab,
+                              prop_delay_us=prop_delay_us,
+                              name=f"{a.name}{b.name}")
+        link_ba = StripedLink(self.sim, self._deliver_fn(0), skew=skew_ba,
+                              prop_delay_us=prop_delay_us,
+                              name=f"{b.name}{a.name}")
+        self.uplinks = [link_ab, link_ba]
+        a.connect(link_ab, segment_mode=self.segment_mode)
+        b.connect(link_ba, segment_mode=self.segment_mode)
+
+    def _wire_switched(self, n_switches: int, prop_delay_us: float,
+                       switching_delay_us: float, port_rate_mbps: float,
+                       port_queue_cells: int) -> None:
+        if n_switches < 1:
+            raise SimulationError("need at least one switch")
+        n_switches = min(n_switches, len(self.hosts))
+        self.switches = [
+            CellSwitch(self.sim, name=f"sw{k}",
+                       port_rate_mbps=port_rate_mbps,
+                       switching_delay_us=switching_delay_us,
+                       port_queue_cells=port_queue_cells)
+            for k in range(n_switches)
+        ]
+        next_trunk = [0] * n_switches
+
+        # Downlinks: one output trunk per host, lanes matching its
+        # striped link so cell i keeps riding lane i mod 4.
+        for i, host in enumerate(self.hosts):
+            k = i % n_switches
+            trunk = next_trunk[k]
+            next_trunk[k] += 1
+            self.switches[k].add_trunk(trunk, self._deliver_fn(i))
+            self._attach.append((k, trunk))
+
+        # Inter-switch trunks: full mesh, one trunk per ordered pair,
+        # so any flow crosses at most two switches.
+        for s in range(n_switches):
+            for t in range(n_switches):
+                if s == t:
+                    continue
+                trunk = next_trunk[s]
+                next_trunk[s] += 1
+                self.switches[s].add_trunk(trunk,
+                                           self.switches[t].input_cell)
+                self._interswitch[(s, t)] = trunk
+
+        # Uplinks: each host's striped link terminates at its switch.
+        # Disjoint seed offsets keep per-lane RNG streams independent
+        # across hosts.
+        for i, host in enumerate(self.hosts):
+            k = self._attach[i][0]
+            skew = (self.skew.clone(i * STRIPE_LINKS)
+                    if self.skew is not None else None)
+            uplink = StripedLink(self.sim, self._arrival_fn(i, k),
+                                 skew=skew, prop_delay_us=prop_delay_us,
+                                 name=f"{host.name}.up")
+            self.uplinks.append(uplink)
+            host.connect(uplink, segment_mode=self.segment_mode)
+
+    def _deliver_fn(self, host_index: int):
+        """Count cells crossing the fabric boundary into one host."""
+        board_deliver = self.hosts[host_index].board.deliver_cell
+
+        def deliver(cell) -> None:
+            self._delivered[host_index] += 1
+            board_deliver(cell)
+
+        return deliver
+
+    def _arrival_fn(self, host_index: int, switch_index: int):
+        """Count cells leaving one host's uplink into its switch."""
+        input_cell = self.switches[switch_index].input_cell
+
+        def deliver(cell) -> None:
+            self._uplink_arrived[host_index] += 1
+            input_cell(cell)
+
+        return deliver
+
+    # -- flow management ------------------------------------------------------------
+
+    def open_flow(self, src: int, dst: int,
+                  src_vci: Optional[int] = None,
+                  dst_vci: Optional[int] = None) -> Flow:
+        """Allocate VCIs and install duplex routes for ``src <-> dst``.
+
+        Explicit VCIs let callers bind an endpoint that already owns
+        its identifier (an ADC grant, say); by default both come from
+        the fabric allocator.
+        """
+        if src == dst or not (0 <= src < len(self.hosts)) \
+                or not (0 <= dst < len(self.hosts)):
+            raise SimulationError(f"bad flow endpoints {src}->{dst}")
+        if src_vci is None:
+            src_vci = self.vcis.alloc()
+        if dst_vci is None:
+            dst_vci = self.vcis.alloc()
+        if self.topology == "switched":
+            self._install_route(src, dst, src_vci, dst_vci)
+            self._install_route(dst, src, dst_vci, src_vci)
+        flow = Flow(src=src, dst=dst, src_vci=src_vci, dst_vci=dst_vci)
+        self.flows.append(flow)
+        return flow
+
+    def _install_route(self, src: int, dst: int, in_vci: int,
+                       out_vci: int) -> None:
+        """Route ``in_vci`` (sent by ``src``) to ``dst``, rewriting to
+        ``out_vci`` on the final hop."""
+        s_sw, _ = self._attach[src]
+        d_sw, d_trunk = self._attach[dst]
+        if s_sw == d_sw:
+            self.switches[s_sw].add_route(in_vci, d_trunk, out_vci)
+        else:
+            trunk = self._interswitch[(s_sw, d_sw)]
+            self.switches[s_sw].add_route(in_vci, trunk, in_vci)
+            self.switches[d_sw].add_route(in_vci, d_trunk, out_vci)
+
+    def open_raw_flow(self, src: int, dst: int, echo_dst: bool = False,
+                      **kw):
+        """Raw-ATM test programs on both ends of a new flow."""
+        flow = self.open_flow(src, dst)
+        app_s, _ = self.hosts[src].open_raw_path(vci=flow.src_vci, **kw)
+        app_d, _ = self.hosts[dst].open_raw_path(vci=flow.dst_vci,
+                                                 echo=echo_dst, **kw)
+        return app_s, app_d, flow
+
+    def open_udp_flow(self, src: int, dst: int,
+                      src_port: Optional[int] = None,
+                      dst_port: Optional[int] = None,
+                      echo_dst: bool = False, **kw):
+        """UDP/IP test programs on both ends of a new flow."""
+        flow = self.open_flow(src, dst)
+        if src_port is None:
+            src_port = 5000 + 2 * (len(self.flows) - 1)
+        if dst_port is None:
+            dst_port = src_port + 1
+        app_s, _ = self.hosts[src].open_udp_path(
+            src_port, dst_port, vci=flow.src_vci, **kw)
+        app_d, _ = self.hosts[dst].open_udp_path(
+            dst_port, src_port, vci=flow.dst_vci, echo=echo_dst, **kw)
+        return app_s, app_d, flow
+
+    # -- accounting -----------------------------------------------------------------
+
+    def cells_injected(self) -> int:
+        """Cells handed to the fabric: uplink submissions plus any
+        cross traffic injected straight into switch ports."""
+        injected = sum(link.cells_sent for link in self.uplinks)
+        injected += sum(sw.cross_cells_injected for sw in self.switches)
+        return injected
+
+    def cells_delivered(self) -> int:
+        """Cells handed to a host board (drops beyond that boundary
+        are the host's, counted in its own stats)."""
+        return sum(self._delivered)
+
+    def cells_dropped(self) -> int:
+        """Cells the fabric lost: unrouted VCIs and full ports."""
+        return sum(sw.cells_dropped for sw in self.switches)
+
+    def cells_queued(self) -> int:
+        """Cells currently inside the fabric: in flight on uplinks
+        plus held in switch ports.  Measured from link and switch
+        counters, independently of the delivery count -- which is what
+        makes the conservation identity a real invariant."""
+        in_flight = (sum(link.cells_sent for link in self.uplinks)
+                     - sum(self._uplink_arrived))
+        if self.topology == "direct":
+            # No switch: in flight is everything not yet delivered.
+            return (sum(link.cells_sent for link in self.uplinks)
+                    - self.cells_delivered())
+        return in_flight + sum(sw.queued_cells() for sw in self.switches)
+
+    def conservation(self) -> dict:
+        """The cell-conservation identity:
+        injected == delivered + queued + dropped."""
+        injected = self.cells_injected()
+        delivered = self.cells_delivered()
+        queued = self.cells_queued()
+        dropped = self.cells_dropped()
+        return {
+            "injected": injected,
+            "delivered": delivered,
+            "queued": queued,
+            "dropped": dropped,
+            "holds": injected == delivered + queued + dropped,
+        }
+
+
+__all__ = ["Fabric", "Flow", "VciAllocator", "FIRST_FLOW_VCI"]

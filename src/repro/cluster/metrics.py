@@ -1,0 +1,115 @@
+"""Cluster-wide metrics: one report for an N-host fabric run.
+
+Aggregates every per-host ``net.stats`` snapshot and every switch's
+per-port occupancy counters into a single :class:`ClusterReport`, and
+checks the **cell-conservation invariant**: every cell handed to the
+fabric is, at the instant of the snapshot, exactly one of delivered to
+a host board, still queued/in flight inside the fabric, or dropped.
+The four terms come from independent counters (links, switch ports,
+delivery wrappers), so the identity actually cross-checks the models
+rather than restating one number three ways.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Optional
+
+from .fabric import Fabric
+from .workloads import WorkloadResult
+
+
+@dataclass
+class ClusterReport:
+    """Everything a cluster run produced, in one structure."""
+
+    topology: str
+    n_hosts: int
+    n_switches: int
+    sim_time_us: float
+    conservation: dict
+    hosts: list = field(default_factory=list)
+    switches: list = field(default_factory=list)
+    workload: Optional[dict] = None
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def to_json(self, indent: int = 2) -> str:
+        # Deferred: repro.bench pulls in repro.net, which subclasses
+        # our Fabric -- importing it at module scope would be circular.
+        from ..bench.report import to_json
+        return to_json(self.to_dict(), indent=indent)
+
+    def render(self) -> str:
+        """Human-readable summary of the run."""
+        lines = [
+            f"Cluster: {self.n_hosts} hosts, {self.n_switches} "
+            f"switch(es), {self.topology}, "
+            f"t={self.sim_time_us:.1f} us",
+        ]
+        conservation = self.conservation
+        lines.append(
+            "  cells: injected {injected}  delivered {delivered}  "
+            "queued {queued}  dropped {dropped}  -> conservation "
+            "{verdict}".format(
+                verdict="holds" if conservation["holds"] else "VIOLATED",
+                **{k: conservation[k] for k in
+                   ("injected", "delivered", "queued", "dropped")}))
+        for sw in self.switches:
+            deepest = max((p["max_queue_seen"] for p in sw["ports"]),
+                          default=0)
+            lines.append(
+                f"  {sw['name']}: {sw['cells_switched']} switched, "
+                f"{sw['cells_dropped']} dropped, "
+                f"max port queue {deepest}")
+        for host in self.hosts:
+            lines.append(
+                f"  {host['name']:<4} pdus tx/rx "
+                f"{host['pdus_sent']:>5}/{host['pdus_received']:<5} "
+                f"cells tx/rx {host['cells_sent']:>6}/"
+                f"{host['cells_received']:<6} "
+                f"irqs {host['interrupts_serviced']}")
+        if self.workload:
+            wl = self.workload
+            lines.append(
+                f"  workload: {wl['kind']}/{wl['pattern']}, "
+                f"{wl['clients']} clients, "
+                f"{wl['messages_received']}/{wl['messages_sent']} "
+                f"messages, {wl['goodput_mbps']:.1f} Mbps goodput")
+            if "latency_us" in wl:
+                lat = wl["latency_us"]
+                lines.append(
+                    f"  latency us: min {lat['min']:.1f}  median "
+                    f"{lat['median']:.1f}  p99 {lat['p99']:.1f}  "
+                    f"max {lat['max']:.1f}")
+        return "\n".join(lines)
+
+
+def collect(fabric: Fabric,
+            workload: Optional[WorkloadResult] = None) -> ClusterReport:
+    """Snapshot a fabric (and optional workload outcome) into a
+    :class:`ClusterReport`."""
+    switches = []
+    for sw in fabric.switches:
+        switches.append({
+            "name": sw.name,
+            "cells_switched": sw.cells_switched,
+            "cells_dropped": sw.cells_dropped,
+            "cross_cells_injected": sw.cross_cells_injected,
+            "cells_queued": sw.queued_cells(),
+            "ports": [asdict(p) for p in sw.port_stats()],
+        })
+    return ClusterReport(
+        topology=fabric.topology,
+        n_hosts=len(fabric.hosts),
+        n_switches=len(fabric.switches),
+        sim_time_us=fabric.sim.now,
+        conservation=fabric.conservation(),
+        hosts=[asdict(host.stats()) for host in fabric.hosts],
+        switches=switches,
+        workload=workload.summary() if workload else None,
+    )
+
+
+__all__ = ["ClusterReport", "collect"]

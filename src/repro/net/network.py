@@ -3,6 +3,10 @@
 'Round-trip latencies achieved between a pair of workstations
 connected by a pair of OSIRIS boards linked back-to-back' (section 4).
 Each direction is an independent four-way striped link.
+
+:class:`BackToBack` is the two-host, switchless special case of
+:class:`repro.cluster.Fabric`; anything larger (N hosts, cell
+switches, routed VCIs) lives in :mod:`repro.cluster`.
 """
 
 from __future__ import annotations
@@ -10,13 +14,13 @@ from __future__ import annotations
 from typing import Optional
 
 from ..atm.aal5 import SegmentMode
-from ..atm.striping import SkewModel, StripedLink
+from ..atm.striping import SkewModel
+from ..cluster.fabric import Fabric
 from ..hw.specs import MachineSpec
-from ..sim import Fidelity, Simulator
-from .host_node import Host
+from ..sim import Fidelity
 
 
-class BackToBack:
+class BackToBack(Fabric):
     """Two hosts joined by striped links in both directions."""
 
     def __init__(self, machine_a: MachineSpec,
@@ -26,32 +30,16 @@ class BackToBack:
                  prop_delay_us: float = 2.0,
                  fidelity: Optional[Fidelity] = None,
                  **host_kw):
-        self.sim = Simulator()
-        machine_b = machine_b or machine_a
-        self.a = Host(self.sim, machine_a, name="a", fidelity=fidelity,
-                      **host_kw)
-        self.b = Host(self.sim, machine_b, name="b", fidelity=fidelity,
-                      **host_kw)
-        # Two skew models so per-link RNG streams stay independent.
-        skew_ab = skew
-        skew_ba = None
-        if skew is not None:
-            skew_ba = SkewModel(
-                fixed_offsets_us=skew.fixed_offsets_us,
-                mux_amplitude_us=skew.mux_amplitude_us,
-                mux_period_cells=skew.mux_period_cells,
-                switch_jitter_us=skew.switch_jitter_us,
-                seed=skew.seed + 1)
-        self.link_ab = StripedLink(self.sim, self.b.board.deliver_cell,
-                                   skew=skew_ab,
-                                   prop_delay_us=prop_delay_us,
-                                   name="ab")
-        self.link_ba = StripedLink(self.sim, self.a.board.deliver_cell,
-                                   skew=skew_ba,
-                                   prop_delay_us=prop_delay_us,
-                                   name="ba")
-        self.a.connect(self.link_ab, segment_mode=segment_mode)
-        self.b.connect(self.link_ba, segment_mode=segment_mode)
+        # The reverse link gets a cloned skew model (seed offset 1) so
+        # the two directions' per-link RNG streams stay independent.
+        super().__init__([machine_a, machine_b or machine_a],
+                         topology="direct", skew=skew,
+                         segment_mode=segment_mode,
+                         prop_delay_us=prop_delay_us,
+                         fidelity=fidelity, names=("a", "b"),
+                         **host_kw)
+        self.a, self.b = self.hosts
+        self.link_ab, self.link_ba = self.uplinks
 
     def open_udp_pair(self, vci: int = 300, port_a: int = 1000,
                       port_b: int = 2000, echo_b: bool = True, **kw):

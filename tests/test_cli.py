@@ -1,5 +1,7 @@
 """CLI tests."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -8,10 +10,10 @@ from repro.cli import build_parser, main
 def test_parser_knows_all_commands():
     parser = build_parser()
     for command in ("table1", "figure2", "figure3", "figure4", "all",
-                    "latency", "receive", "transmit"):
+                    "cluster", "latency", "receive", "transmit"):
         args = parser.parse_args(
             [command] if command in ("table1", "figure2", "figure3",
-                                     "figure4", "all")
+                                     "figure4", "all", "cluster")
             else [command, "--machine", "ds"])
         assert args.command == command
 
@@ -53,3 +55,49 @@ def test_figure_custom_sizes(capsys):
 def test_unknown_machine_rejected():
     with pytest.raises(SystemExit):
         main(["latency", "--machine", "vax"])
+
+
+CLUSTER_ARGS = ["cluster", "--hosts", "4", "--pattern", "pairs",
+                "--messages", "2", "--size", "2048", "--rate", "40",
+                "--seed", "1", "--json"]
+
+
+def test_cluster_command_emits_valid_report(capsys):
+    assert main(CLUSTER_ARGS) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["n_hosts"] == 4
+    assert report["conservation"]["holds"] is True
+    assert report["workload"]["messages_received"] == \
+        report["workload"]["messages_sent"]
+    assert len(report["hosts"]) == 4
+    assert report["switches"][0]["ports"]
+
+
+def test_cluster_json_is_deterministic(capsys):
+    assert main(CLUSTER_ARGS) == 0
+    first = capsys.readouterr().out
+    assert main(CLUSTER_ARGS) == 0
+    assert capsys.readouterr().out == first
+
+
+def test_cluster_rpc_render(capsys):
+    assert main(["cluster", "--hosts", "3", "--workload", "rpc",
+                 "--messages", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "conservation holds" in out
+    assert "latency us" in out
+
+
+def test_table1_json_output(capsys):
+    assert main(["table1", "--quick", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["table"] == "table1"
+    assert set(doc["measured"]) == set(doc["paper"])
+
+
+def test_figure_json_output(capsys):
+    assert main(["figure4", "--sizes", "4", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["unit"] == "Mbps"
+    assert doc["sizes_kb"] == [4]
+    assert doc["paper_peaks"]
