@@ -13,7 +13,6 @@ aligned one and costs measurably more send-path time.
 
 import pytest
 
-from repro.driver.config import DriverConfig
 from repro.hw import DS5000_200
 from repro.net import Host
 from repro.sim import Simulator, spawn

@@ -34,7 +34,7 @@ def test_interrupt_ablation_benchmark(benchmark, results):
     for (machine, mode), r in results.items():
         line = (f"  {machine:24} {mode.value:10} "
                 f"{r.mbps:7.1f} Mbps  {r.interrupts_per_pdu:5.2f} "
-                f"interrupts/PDU")
+                "interrupts/PDU")
         print(line)
         benchmark.extra_info[f"{machine}/{mode.value}"] = {
             "mbps": round(r.mbps, 1),

@@ -10,7 +10,6 @@ per-page cost moves, it does not vanish.
 
 import pytest
 
-from repro.bench import measure_transmit_throughput
 from repro.driver.config import DriverConfig
 from repro.hw import DS5000_200
 from repro.net import Host

@@ -8,9 +8,9 @@ wiring a minor cost.
 
 import pytest
 
-from repro.bench import measure_round_trip, measure_transmit_throughput
+from repro.bench import measure_transmit_throughput
 from repro.host.wiring import WiringStyle
-from repro.hw import DS5000_200, with_costs
+from repro.hw import DS5000_200
 
 
 @pytest.fixture(scope="module")

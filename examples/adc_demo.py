@@ -69,11 +69,11 @@ def main() -> None:
     spawn(sim, talk(), "app")
     sim.run()
     assert app.receptions[0].data == payload
-    print(f"  kernel driver PDUs on the data path : "
+    print("  kernel driver PDUs on the data path : "
           f"{host.driver.pdus_received} (bypassed)")
-    print(f"  kernel interrupts fielded           : "
+    print("  kernel interrupts fielded           : "
           f"{host.kernel.interrupts_serviced} (the kernel still owns "
-          f"the interrupt)")
+          "the interrupt)")
 
     # -- 3. protection: the board rejects unauthorized pages --------------
     evil = Descriptor(addr=0x200000, length=64,
@@ -82,7 +82,7 @@ def main() -> None:
     sim.run()
     print(f"\nForged descriptor at {evil.addr:#x}:")
     print(f"  access violations raised in the app : {driver.violations}")
-    print(f"  PDUs the board transmitted for it   : 0")
+    print("  PDUs the board transmitted for it   : 0")
 
     # -- 4. ADC latency == kernel latency ----------------------------------
     sim2, host2 = build_loopback_host()

@@ -83,7 +83,7 @@ def run(label: str, rate_mbps: float) -> None:
     print(f"{label}:")
     print(f"  messages delivered        : {received}/{expected}")
     print(f"  server kernel-driver PDUs : {server.driver.pdus_received}"
-          f" (ADC bypassed the kernel)")
+          " (ADC bypassed the kernel)")
     print(f"  deepest server port queue : {deepest} cells "
           f"(cap {switch.port_queue_cells})")
     print(f"  server board FIFO drops   : {server.board.rx_fifo_drops}")

@@ -70,8 +70,8 @@ def main() -> None:
     print(f"  block-read latency : min {min(lat):6.1f}  median "
           f"{sorted(lat)[len(lat) // 2]:6.1f}  max {max(lat):6.1f} us")
     print(f"  serial throughput  : {mbps:6.1f} Mbps "
-          f"(one outstanding read at a time)")
-    print(f"  every block arrived as full pages: yes")
+          "(one outstanding read at a time)")
+    print("  every block arrived as full pages: yes")
     print()
     print("The page-boundary DMA rule (section 2.5.2) is what keeps "
           "these\nblocks intact: a DMA burst never crosses a page, so "

@@ -56,13 +56,13 @@ def main() -> None:
     print(f"\nOne-way burst: {count} x {size // 1024} KB messages "
           f"=> {mbps:.0f} Mbps")
     print("\nWhat the run cost, on the receiving host:")
-    print(f"  interrupts serviced      : "
+    print("  interrupts serviced      : "
           f"{net.b.kernel.interrupts_serviced}  (coalesced under "
-          f"bursts; one per PDU at light load)")
+          "bursts; one per PDU at light load)")
     print(f"  TURBOchannel utilization : {net.b.tc.utilization():.2f}")
-    print(f"  receive DMA transactions : "
+    print("  receive DMA transactions : "
           f"{net.b.board.rx_dma.transactions}")
-    print(f"  pages wired on send path : "
+    print("  pages wired on send path : "
           f"{net.a.kernel.wiring.pages_wired}")
     print(f"  cells on the wire        : {net.link_ab.cells_sent}")
 

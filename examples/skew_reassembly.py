@@ -92,7 +92,7 @@ def main() -> None:
     ok = sum(1 for g in got if g in pdus)
     print(f"in-order AAL5   : {ok}/{len(pdus)} PDUs survive, "
           f"{rxp.pdus_errored} CRC/length errors "
-          f"(misordering detected, never silent)")
+          "(misordering detected, never silent)")
 
     got, rxp = transfer(SegmentMode.SEQUENCE, skew, pdus)
     print(f"strategy 1 (seq): {sum(1 for g in got if g in pdus)}"
@@ -110,7 +110,7 @@ def main() -> None:
         total = rxp.combined_dmas + rxp.single_dmas
         rate = rxp.combined_dmas / max(total, 1)
         print(f"  {label:12}: {rate:5.1%} of payload pairs combined "
-              f"into 88-byte DMAs")
+              "into 88-byte DMAs")
     print("\n'Once skew is introduced, the probability that two "
           "successive cells\n will be received in order is greatly "
           "reduced.'  -- section 2.6")

@@ -18,7 +18,6 @@ from typing import Optional
 from ..host.domains import ProtectionDomain
 from ..host.kernel import HostOS
 from ..osiris.board import Channel, N_CHANNELS, OsirisBoard
-from ..osiris.descriptors import Descriptor
 from ..sim import SimulationError
 
 

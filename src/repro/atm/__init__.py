@@ -9,7 +9,7 @@ from .crc import crc32, internet_checksum, verify_internet_checksum
 from .link import CellPipe, OC3_MBPS
 from .sar import ConcurrentReassembler, SequenceNumberReassembler, SkewOverflow
 from .striping import SkewModel, StripedLink
-from .switch import CellSwitch
+from .switch import BACKPRESSURE_MODES, DRAIN_POLICIES, CellSwitch
 
 __all__ = [
     "Cell",
@@ -19,4 +19,5 @@ __all__ = [
     "TRAILER_BYTES",
     "SequenceNumberReassembler", "ConcurrentReassembler", "SkewOverflow",
     "CellPipe", "OC3_MBPS", "SkewModel", "StripedLink", "CellSwitch",
+    "BACKPRESSURE_MODES", "DRAIN_POLICIES",
 ]

@@ -38,6 +38,10 @@ class Cell:
     # Bookkeeping stamped by the transmission path (not protocol data).
     link_id: int = field(default=-1, compare=False)
     tx_index: int = field(default=-1, compare=False)
+    # EFCI: the explicit forward congestion indication bit of the ATM
+    # header, set by a congested switch port and read by the receiver
+    # (the cheap alternative to credit flow control).
+    efci: bool = field(default=False, compare=False)
 
     def __post_init__(self) -> None:
         if len(self.payload) > AAL_PAYLOAD_BYTES:

@@ -1,4 +1,4 @@
-"""An output-queued ATM cell switch.
+"""An output-queued ATM cell switch with per-VCI fair queueing.
 
 Section 2.6 names three causes of striping skew; the third is
 'different queuing delays experienced by cells on different links as
@@ -6,7 +6,7 @@ they pass through distinct ports on the switches in the network' --
 and the paper notes it could only be eliminated by coordinating the
 ports, 'negating the advantage of striping'.  This switch model makes
 that cause real: each striped link's lane terminates in its own output
-port with its own queue, so cross traffic on one port delays exactly
+port with its own queues, so cross traffic on one port delays exactly
 one lane.
 
 The switch routes by VCI: the routing table maps an input VCI to
@@ -14,35 +14,155 @@ The switch routes by VCI: the routing table maps an input VCI to
 output ports feeding one striped link, so striped traffic keeps its
 lane (cell ``tx_index mod n`` stays on lane ``n``) while competing
 with whatever else shares that port.
+
+Each output port keeps one queue **per VCI** and drains them
+round-robin (``drain_policy="rr"``, the network-processor discipline
+of Papaefstathiou et al.), so a single open-loop hog can no longer
+starve a well-behaved flow sharing its port; ``drain_policy="fifo"``
+restores the single shared FIFO for comparison.  When a port is full,
+the round-robin policy makes room by pushing out the tail of the
+*longest* per-VCI backlog (fair buffer sharing) instead of
+tail-dropping the arrival.
+
+Congestion control (``backpressure``):
+
+* ``"none"`` -- drop at the ``port_queue_cells`` cap (the seed
+  behaviour; incast collapse is emergent).
+* ``"credit"`` -- ports never drop for occupancy; admission is bounded
+  upstream by receiver-driven per-VCI credit windows (see
+  :mod:`repro.cluster.backpressure`), and the drain loop returns a
+  credit to the registered hook every time it forwards a cell.
+* ``"efci"`` -- the cheap alternative: cells enqueued on a port whose
+  occupancy is at or above ``efci_threshold_cells`` get the explicit
+  forward congestion indication bit set; the receiver's fabric edge
+  relays the mark back to the source, which pauses briefly.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Optional
 
 from ..hw.specs import ATM_CELL_BYTES, STRIPE_LINKS
-from ..sim import Delay, SimulationError, Simulator, Store, spawn
+from ..sim import Delay, Signal, SimulationError, Simulator, spawn
 from .cell import Cell
 from .link import OC3_MBPS
 
 DeliverFn = Callable[[Cell], None]
 
+BACKPRESSURE_MODES = ("none", "credit", "efci")
+DRAIN_POLICIES = ("rr", "fifo")
+
 
 @dataclass
-class _OutputPort:
-    """One output port: a FIFO of cells draining at line rate."""
+class _VciCounters:
+    """Per-VCI occupancy counters inside one output port."""
 
-    queue: Store
-    cells_enqueued: int = 0
-    cells_forwarded: int = 0
-    max_queue_seen: int = 0
+    enqueued: int = 0
+    forwarded: int = 0
+    dropped: int = 0
+    max_depth: int = 0
+
+
+class _OutputPort:
+    """One output port: per-VCI queues drained at line rate."""
+
+    def __init__(self, sim: Simulator, name: str, drain_policy: str):
+        self.name = name
+        self.drain_policy = drain_policy
+        self.work = Signal(f"{name}.work")
+        # VCI -> queued cells; insertion order is first-seen order.
+        self._queues: dict[int, deque] = {}
+        self._ring: deque = deque()   # VCIs eligible for rr drain
+        self._order: deque = deque()  # one VCI entry per cell (fifo)
+        self.depth = 0                # total cells queued
+        self.cells_enqueued = 0
+        self.cells_forwarded = 0
+        self.cells_pushed_out = 0
+        self.dropped_queue_full = 0
+        self.max_queue_seen = 0
+        self.vci_counters: dict[int, _VciCounters] = {}
 
     @property
     def cells_held(self) -> int:
-        """Cells accepted but not yet handed to the trunk: the queue
+        """Cells accepted but not yet handed to the trunk: the queues
         plus at most one cell inside the drain loop's delay."""
-        return self.cells_enqueued - self.cells_forwarded
+        return (self.cells_enqueued - self.cells_forwarded
+                - self.cells_pushed_out)
+
+    def _counters(self, vci: int) -> _VciCounters:
+        counters = self.vci_counters.get(vci)
+        if counters is None:
+            counters = self.vci_counters[vci] = _VciCounters()
+        return counters
+
+    def enqueue(self, cell: Cell) -> None:
+        queue = self._queues.get(cell.vci)
+        if queue is None:
+            queue = self._queues[cell.vci] = deque()
+        if self.drain_policy == "rr":
+            if not queue:
+                self._ring.append(cell.vci)
+        else:
+            self._order.append(cell.vci)
+        queue.append(cell)
+        self.depth += 1
+        self.cells_enqueued += 1
+        self.max_queue_seen = max(self.max_queue_seen, self.depth)
+        counters = self._counters(cell.vci)
+        counters.enqueued += 1
+        counters.max_depth = max(counters.max_depth, len(queue))
+        self.work.fire()
+
+    def pop_next(self) -> Optional[Cell]:
+        """Next cell under the drain policy, or None when idle."""
+        if self.drain_policy == "rr":
+            if not self._ring:
+                return None
+            vci = self._ring.popleft()
+            queue = self._queues[vci]
+            cell = queue.popleft()
+            if queue:
+                self._ring.append(vci)  # rotate to the back
+        else:
+            if not self._order:
+                return None
+            vci = self._order.popleft()
+            cell = self._queues[vci].popleft()
+        self.depth -= 1
+        return cell
+
+    def push_out_longest(self, arriving_vci: int) -> Optional[int]:
+        """Make room for ``arriving_vci`` by dropping the tail of the
+        longest per-VCI backlog (fair buffer sharing).  Returns the
+        victim VCI, or None when the arrival itself has the longest
+        backlog and should be dropped instead."""
+        longest_vci, longest_len = None, 0
+        for vci, queue in self._queues.items():
+            if len(queue) > longest_len:
+                longest_vci, longest_len = vci, len(queue)
+        arriving_queue = self._queues.get(arriving_vci)
+        arriving_len = len(arriving_queue) if arriving_queue else 0
+        if longest_vci is None or longest_len <= arriving_len:
+            return None
+        queue = self._queues[longest_vci]
+        queue.pop()
+        if not queue:
+            self._ring.remove(longest_vci)
+        self.depth -= 1
+        self.cells_pushed_out += 1
+        self.dropped_queue_full += 1
+        self._counters(longest_vci).dropped += 1
+        return longest_vci
+
+    def note_arrival_drop(self, vci: int) -> None:
+        self.dropped_queue_full += 1
+        self._counters(vci).dropped += 1
+
+    def record_forwarded(self, vci: int) -> None:
+        self.cells_forwarded += 1
+        self._counters(vci).forwarded += 1
 
 
 @dataclass(frozen=True)
@@ -55,6 +175,8 @@ class PortStats:
     cells_forwarded: int
     max_queue_seen: int
     depth: int
+    dropped_queue_full: int
+    vcis: dict = field(default_factory=dict)
 
 
 class CellSwitch:
@@ -63,21 +185,45 @@ class CellSwitch:
     def __init__(self, sim: Simulator, name: str = "switch",
                  port_rate_mbps: float = OC3_MBPS,
                  switching_delay_us: float = 1.0,
-                 port_queue_cells: int = 256):
+                 port_queue_cells: int = 256,
+                 backpressure: str = "none",
+                 drain_policy: str = "rr",
+                 efci_threshold_cells: Optional[int] = None):
+        if backpressure not in BACKPRESSURE_MODES:
+            raise SimulationError(
+                f"unknown backpressure mode {backpressure!r}; "
+                f"choose from {BACKPRESSURE_MODES}")
+        if drain_policy not in DRAIN_POLICIES:
+            raise SimulationError(
+                f"unknown drain policy {drain_policy!r}; "
+                f"choose from {DRAIN_POLICIES}")
         self.sim = sim
         self.name = name
         self.port_rate_mbps = port_rate_mbps
         self.switching_delay_us = switching_delay_us
         self.port_queue_cells = port_queue_cells
+        self.backpressure = backpressure
+        self.drain_policy = drain_policy
+        self.efci_threshold_cells = (
+            efci_threshold_cells if efci_threshold_cells is not None
+            else port_queue_cells // 2)
         self.cell_time_us = ATM_CELL_BYTES * 8.0 / port_rate_mbps
         # trunk id -> list of output ports (one per lane).
         self._trunks: dict[int, list[_OutputPort]] = {}
         self._trunk_deliver: dict[int, DeliverFn] = {}
         # input VCI -> (trunk id, output VCI).
         self._routes: dict[int, tuple[int, int]] = {}
+        # (trunk id, cell VCI at the port) -> credit-return callback.
+        self._forward_hooks: dict[tuple[int, int], Callable[[], None]] = {}
         self.cells_switched = 0
-        self.cells_dropped = 0
+        self.dropped_no_route = 0
+        self.dropped_queue_full = 0
         self.cross_cells_injected = 0
+
+    @property
+    def cells_dropped(self) -> int:
+        """All cells the switch lost, whatever the cause."""
+        return self.dropped_no_route + self.dropped_queue_full
 
     # -- fabric configuration --------------------------------------------------
 
@@ -86,16 +232,16 @@ class CellSwitch:
         """Attach an output trunk whose lanes feed ``deliver``.
 
         ``deliver`` receives cells in per-lane order (each lane is its
-        own FIFO); cross-lane order is whatever port queueing produces
-        -- the skew the receiving board must tolerate.
+        own FIFO per VCI); cross-lane order is whatever port queueing
+        produces -- the skew the receiving board must tolerate.
         """
         if trunk_id in self._trunks:
             raise SimulationError(f"trunk {trunk_id} exists")
         ports = []
         for lane in range(n_lanes):
-            port = _OutputPort(queue=Store(
-                self.sim, f"{self.name}.t{trunk_id}.l{lane}",
-                capacity=self.port_queue_cells))
+            port = _OutputPort(self.sim,
+                               f"{self.name}.t{trunk_id}.l{lane}",
+                               self.drain_policy)
             ports.append(port)
             spawn(self.sim, self._drain(port, trunk_id),
                   f"{self.name}-t{trunk_id}-l{lane}")
@@ -112,37 +258,85 @@ class CellSwitch:
         self._routes[in_vci] = (trunk_id, out_vci if out_vci is not None
                                 else in_vci)
 
+    def on_cell_forwarded(self, trunk_id: int, vci: int,
+                          callback: Callable[[], None]) -> None:
+        """Invoke ``callback`` each time this trunk forwards a cell
+        carrying ``vci`` -- the switch end of a credit-return channel
+        back to the flow's source."""
+        if trunk_id not in self._trunks:
+            raise SimulationError(f"unknown trunk {trunk_id}")
+        self._forward_hooks[(trunk_id, vci)] = callback
+
     # -- data path -----------------------------------------------------------------
 
     def input_cell(self, cell: Cell) -> None:
         """An arriving cell: route, rewrite, queue on its lane's port."""
         route = self._routes.get(cell.vci)
         if route is None:
-            self.cells_dropped += 1
+            self.dropped_no_route += 1
             return
         trunk_id, out_vci = route
         ports = self._trunks[trunk_id]
-        lane = (cell.tx_index % len(ports) if cell.tx_index >= 0
-                else cell.link_id % len(ports))
+        if cell.tx_index >= 0:
+            lane = cell.tx_index % len(ports)
+            # A striped cell arrives stamped with the upstream lane it
+            # rode; if the trunk's lane count disagrees with the
+            # upstream striping width the modulo would silently put the
+            # cell on the wrong lane, breaking the reassembly invariant.
+            if cell.link_id >= 0 and cell.link_id != lane:
+                raise SimulationError(
+                    f"{self.name}: striping width mismatch on trunk "
+                    f"{trunk_id}: cell tx_index {cell.tx_index} rode "
+                    f"upstream lane {cell.link_id} but the trunk has "
+                    f"{len(ports)} lanes")
+        else:
+            if cell.link_id >= len(ports):
+                raise SimulationError(
+                    f"{self.name}: striping width mismatch on trunk "
+                    f"{trunk_id}: unstamped cell from upstream lane "
+                    f"{cell.link_id} but the trunk has "
+                    f"{len(ports)} lanes")
+            lane = cell.link_id % len(ports)
         rewritten = Cell(vci=out_vci, payload=cell.payload,
                          eom=cell.eom, seq=cell.seq,
-                         atm_last=cell.atm_last, tx_index=cell.tx_index)
+                         atm_last=cell.atm_last, tx_index=cell.tx_index,
+                         efci=cell.efci)
         rewritten.link_id = lane
-        port = ports[lane]
-        if not port.queue.try_put(rewritten):
-            self.cells_dropped += 1
-            return
-        port.cells_enqueued += 1
-        port.max_queue_seen = max(port.max_queue_seen, len(port.queue))
-        self.cells_switched += 1
+        if self._admit(ports[lane], rewritten):
+            self.cells_switched += 1
+
+    def _admit(self, port: _OutputPort, cell: Cell) -> bool:
+        """Admission control for one port; returns False on a
+        queue-full drop.  Credit mode never drops for occupancy: the
+        per-VCI windows upstream bound what can arrive."""
+        if (self.backpressure != "credit"
+                and port.depth >= self.port_queue_cells):
+            victim = (port.push_out_longest(cell.vci)
+                      if self.drain_policy == "rr" else None)
+            if victim is None:
+                port.note_arrival_drop(cell.vci)
+                self.dropped_queue_full += 1
+                return False
+            self.dropped_queue_full += 1  # the pushed-out victim
+        if (self.backpressure == "efci"
+                and port.depth >= self.efci_threshold_cells):
+            cell.efci = True
+        port.enqueue(cell)
+        return True
 
     def _drain(self, port: _OutputPort,
                trunk_id: int) -> Generator[Any, Any, None]:
         while True:
-            cell = yield port.queue.get()
+            cell = port.pop_next()
+            if cell is None:
+                yield port.work
+                continue
             yield Delay(self.switching_delay_us + self.cell_time_us)
-            port.cells_forwarded += 1
+            port.record_forwarded(cell.vci)
             self._trunk_deliver[trunk_id](cell)
+            hook = self._forward_hooks.get((trunk_id, cell.vci))
+            if hook is not None:
+                hook()
 
     # -- background load (the cross traffic that causes cause-3 skew) --------------
 
@@ -150,22 +344,24 @@ class CellSwitch:
                              rate_mbps: float, vci: int = 0xFFF0,
                              duration_us: float = float("inf")) -> None:
         """A competing flow occupying one lane's output port."""
+        if rate_mbps <= 0.0:
+            raise SimulationError(
+                f"cross-traffic rate must be positive, got {rate_mbps}")
         ports = self._trunks[trunk_id]
         port = ports[lane]
         interval = ATM_CELL_BYTES * 8.0 / rate_mbps
         stop_at = self.sim.now + duration_us
 
         def pump() -> Generator[Any, Any, None]:
-            while self.sim.now < stop_at:
+            while True:
+                # Stop check BEFORE injecting: a zero-length window
+                # must inject nothing at all.
+                if self.sim.now >= stop_at:
+                    return
                 filler = Cell(vci=vci, payload=b"")
                 filler.link_id = lane
                 self.cross_cells_injected += 1
-                if port.queue.try_put(filler):
-                    port.cells_enqueued += 1
-                    port.max_queue_seen = max(port.max_queue_seen,
-                                              len(port.queue))
-                else:
-                    self.cells_dropped += 1
+                self._admit(port, filler)
                 yield Delay(interval)
 
         spawn(self.sim, pump(), f"cross-t{trunk_id}-l{lane}")
@@ -173,7 +369,7 @@ class CellSwitch:
     # -- observability --------------------------------------------------------------
 
     def port_depths(self, trunk_id: int) -> list[int]:
-        return [len(p.queue) for p in self._trunks[trunk_id]]
+        return [p.depth for p in self._trunks[trunk_id]]
 
     def queued_cells(self) -> int:
         """Cells currently inside the switch (queued or draining)."""
@@ -187,10 +383,17 @@ class CellSwitch:
                       cells_enqueued=port.cells_enqueued,
                       cells_forwarded=port.cells_forwarded,
                       max_queue_seen=port.max_queue_seen,
-                      depth=len(port.queue))
+                      depth=port.depth,
+                      dropped_queue_full=port.dropped_queue_full,
+                      vcis={vci: {"enqueued": c.enqueued,
+                                  "forwarded": c.forwarded,
+                                  "dropped": c.dropped,
+                                  "max_depth": c.max_depth}
+                            for vci, c in port.vci_counters.items()})
             for trunk_id, ports in sorted(self._trunks.items())
             for lane, port in enumerate(ports)
         ]
 
 
-__all__ = ["CellSwitch", "PortStats"]
+__all__ = ["CellSwitch", "PortStats", "BACKPRESSURE_MODES",
+           "DRAIN_POLICIES"]

@@ -9,7 +9,6 @@ sender-side logic of :mod:`repro.xkernel.protocols` byte-for-byte.
 
 from __future__ import annotations
 
-import struct
 
 from ..atm.crc import fast_internet_checksum as internet_checksum
 from ..xkernel.protocols import ip as ip_proto

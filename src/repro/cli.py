@@ -88,22 +88,51 @@ def _cmd_all(args) -> None:
 
 def _cmd_cluster(args) -> None:
     from .atm.aal5 import SegmentMode
-    from .cluster import Fabric, WorkloadSpec, collect, run_workload
+    from .cluster import (
+        Fabric, WorkloadSpec, collect, run_workload, sweep_offered_load,
+    )
     from .sim import SimulationError
 
     segment = (SegmentMode.SEQUENCE if args.segment == "sequence"
                else SegmentMode.IN_ORDER)
-    try:
-        fabric = Fabric(_machine(args.machine), args.hosts,
-                        n_switches=args.switches, segment_mode=segment)
-    except SimulationError as exc:
-        raise SystemExit(f"cluster: {exc}")
+
+    def make_fabric() -> Fabric:
+        return Fabric(_machine(args.machine), args.hosts,
+                      n_switches=args.switches, segment_mode=segment,
+                      backpressure=args.backpressure,
+                      credit_window_cells=args.window,
+                      drain_policy=args.drain)
+
     spec = WorkloadSpec(
         pattern=args.pattern, kind=args.workload, seed=args.seed,
         message_bytes=args.size, messages_per_client=args.messages,
         rate_mbps=args.rate,
         arrival="poisson" if args.poisson else "constant",
         requests_per_client=args.messages)
+    try:
+        if args.sweep:
+            rates = [float(r) for r in args.sweep.split(",")]
+            points = sweep_offered_load(make_fabric, spec, rates)
+            if args.json:
+                from .bench.report import to_json
+                print(to_json({"backpressure": args.backpressure,
+                               "drain_policy": args.drain,
+                               "points": points}))
+            else:
+                print("offered Mbps/client -> goodput Mbps "
+                      f"({args.backpressure} backpressure, "
+                      f"{args.drain} drain)")
+                for pt in points:
+                    drops = pt["drops"]
+                    print(f"  {pt['offered_mbps_per_client']:>8.1f} -> "
+                          f"{pt['goodput_mbps']:>7.1f}  "
+                          f"({pt['messages_received']}/"
+                          f"{pt['messages_sent']} messages, "
+                          f"{drops['queue_full']} queue-full drops)")
+            return
+        fabric = make_fabric()
+    except SimulationError as exc:
+        raise SystemExit(f"cluster: {exc}")
     result = run_workload(fabric, spec)
     report = collect(fabric, result)
     print(report.to_json() if args.json else report.render())
@@ -179,6 +208,20 @@ def build_parser() -> argparse.ArgumentParser:
                               "(0 = unpaced)")
     cluster.add_argument("--poisson", action="store_true",
                          help="Poisson instead of constant spacing")
+    cluster.add_argument("--backpressure", default="none",
+                         choices=("none", "credit", "efci"),
+                         help="fabric flow control: per-VCI credits, "
+                              "EFCI marking, or nothing")
+    cluster.add_argument("--window", type=int, default=64,
+                         help="credit window in cells per flow VCI")
+    cluster.add_argument("--drain", default="rr",
+                         choices=("rr", "fifo"),
+                         help="output-port scheduler: per-VCI "
+                              "round-robin or a single shared FIFO")
+    cluster.add_argument("--sweep", default=None, metavar="MBPS,...",
+                         help="run a goodput-vs-offered-load sweep over "
+                              "these per-client rates instead of a "
+                              "single run")
     cluster.add_argument("--segment", default="sequence",
                          choices=("sequence", "in-order"),
                          help="reassembly strategy at the receivers")

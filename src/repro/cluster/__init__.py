@@ -8,16 +8,18 @@ through one aggregated report with a cell-conservation invariant
 (:mod:`repro.cluster.metrics`).
 """
 
+from .backpressure import BACKPRESSURE_MODES, CreditGate
 from .fabric import FIRST_FLOW_VCI, Fabric, Flow, VciAllocator
 from .metrics import ClusterReport, collect
 from .workloads import (
     PATTERNS, ClientResult, WorkloadResult, WorkloadSpec, client_rng,
-    pattern_flows, run_workload,
+    pattern_flows, run_workload, sweep_offered_load,
 )
 
 __all__ = [
     "Fabric", "Flow", "VciAllocator", "FIRST_FLOW_VCI",
+    "CreditGate", "BACKPRESSURE_MODES",
     "ClusterReport", "collect",
     "PATTERNS", "WorkloadSpec", "WorkloadResult", "ClientResult",
-    "pattern_flows", "client_rng", "run_workload",
+    "pattern_flows", "client_rng", "run_workload", "sweep_offered_load",
 ]

@@ -1,0 +1,155 @@
+"""Host-side flow-control gates for the cluster fabric.
+
+The seed fabric's only congestion response was the 256-cell port cap:
+incast collapse was emergent but unrecoverable, because the switch
+simply truncated.  This module supplies the missing control plane --
+the channel from a switch output port back to the *originating* host's
+transmit processor:
+
+* **Credit mode** (receiver-driven, the RDCA-style answer): every flow
+  VCI gets a window of cells it may have outstanding inside the
+  fabric.  The transmit processor acquires one credit per cell before
+  emission; the final-hop switch port returns the credit when it
+  forwards the cell to the destination host.  Port occupancy is
+  therefore bounded by ``window`` per VCI and a full port pauses the
+  offending flow at its source instead of dropping.
+
+* **EFCI mode** (the cheap alternative): emission is not counted, but
+  a congested port sets the explicit forward congestion indication bit
+  on cells it queues; the destination's fabric edge relays the mark
+  back, and the gate pauses the flow for a fixed cooldown.
+
+A :class:`CreditGate` is per host; :class:`repro.osiris.tx_processor.
+TxProcessor` calls :meth:`acquire` before every cell, and
+:class:`repro.cluster.fabric.Fabric` installs the refill/pause ends
+when it opens a flow.  VCIs the gate has never heard of (ADC grants,
+cross traffic) pass through untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Optional
+
+from ..sim import Delay, Signal, SimulationError, Simulator
+
+BACKPRESSURE_MODES = ("none", "credit", "efci")
+
+
+@dataclass
+class _FlowGate:
+    """Flow-control state for one source VCI."""
+
+    vci: int
+    window: Optional[int]       # None: uncounted (EFCI pausing only)
+    credits: Optional[int]
+    signal: Signal
+    resume_at: float = 0.0
+    stalls: int = 0
+    stall_time_us: float = 0.0
+    refills: int = 0
+    pauses: int = 0
+
+
+class CreditGate:
+    """Per-VCI emission gate at one host's fabric ingress."""
+
+    def __init__(self, sim: Simulator, name: str = "gate"):
+        self.sim = sim
+        self.name = name
+        self._flows: dict[int, _FlowGate] = {}
+        self.stalls = 0
+        self.stall_time_us = 0.0
+
+    def open_vci(self, vci: int, window: Optional[int] = None) -> None:
+        """Gate emissions on ``vci``.  ``window`` is the credit budget
+        (cells outstanding inside the fabric); None means uncounted --
+        the flow only stalls when :meth:`pause` is called."""
+        if vci in self._flows:
+            raise SimulationError(
+                f"{self.name}: VCI {vci:#x} already gated")
+        if window is not None and window < 1:
+            raise SimulationError(
+                f"{self.name}: credit window must be >= 1, got {window}")
+        self._flows[vci] = _FlowGate(
+            vci=vci, window=window, credits=window,
+            signal=Signal(f"{self.name}.{vci:#x}"))
+
+    def acquire(self, vci: int) -> Generator[Any, Any, None]:
+        """Block until ``vci`` may emit one cell (subroutine: use as
+        ``yield from gate.acquire(vci)``).  Ungated VCIs never block."""
+        flow = self._flows.get(vci)
+        if flow is None:
+            return
+        while True:
+            start = self.sim.now
+            if start < flow.resume_at:
+                flow.stalls += 1
+                self.stalls += 1
+                yield Delay(flow.resume_at - start)
+                elapsed = self.sim.now - start
+                flow.stall_time_us += elapsed
+                self.stall_time_us += elapsed
+                continue
+            if flow.credits is None:
+                return
+            if flow.credits > 0:
+                flow.credits -= 1
+                return
+            flow.stalls += 1
+            self.stalls += 1
+            yield flow.signal
+            elapsed = self.sim.now - start
+            flow.stall_time_us += elapsed
+            self.stall_time_us += elapsed
+
+    def refill(self, vci: int) -> None:
+        """Return one credit to ``vci`` -- the switch end of the
+        credit channel, called when the final-hop port forwards a
+        cell of this flow."""
+        flow = self._flows[vci]
+        if flow.credits is None:
+            return
+        if flow.window is None or flow.credits < flow.window:
+            flow.credits += 1
+            flow.refills += 1
+            flow.signal.fire()
+
+    def pause(self, vci: int, until_us: float) -> None:
+        """Hold ``vci``'s emissions until the given simulation time --
+        the EFCI cooldown.  Overlapping pauses extend, never shorten."""
+        flow = self._flows.get(vci)
+        if flow is None:
+            return
+        if until_us > flow.resume_at:
+            flow.resume_at = until_us
+            flow.pauses += 1
+
+    def credits_outstanding(self) -> int:
+        """Cells currently inside the fabric against this gate's
+        credit windows (zero once every flow has drained)."""
+        return sum(flow.window - flow.credits
+                   for flow in self._flows.values()
+                   if flow.credits is not None and flow.window is not None)
+
+    def stats(self) -> dict:
+        """Counters for the cluster report."""
+        return {
+            "stalls": self.stalls,
+            "stall_time_us": self.stall_time_us,
+            "credits_outstanding": self.credits_outstanding(),
+            "flows": {
+                flow.vci: {
+                    "window": flow.window,
+                    "credits": flow.credits,
+                    "stalls": flow.stalls,
+                    "stall_time_us": flow.stall_time_us,
+                    "refills": flow.refills,
+                    "pauses": flow.pauses,
+                }
+                for flow in self._flows.values()
+            },
+        }
+
+
+__all__ = ["CreditGate", "BACKPRESSURE_MODES"]

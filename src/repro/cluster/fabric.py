@@ -27,6 +27,16 @@ mirror route.  The switches route on input VCI alone, so the
 The two-host, directly-wired topology the paper measured remains
 available as ``topology="direct"``; :class:`repro.net.BackToBack` is
 that special case.
+
+Congestion control: ``backpressure="credit"`` gives every flow VCI a
+receiver-driven credit window -- the final-hop switch port returns a
+credit to the source host's :class:`~repro.cluster.backpressure.
+CreditGate` per forwarded cell, so a full port pauses the offending
+transmit processor instead of dropping.  ``backpressure="efci"`` is
+the cheap alternative: congested ports mark cells, the destination
+edge relays the mark, and the source pauses for a cooldown.
+``drain_policy`` selects per-VCI round-robin ("rr") or the old single
+shared FIFO ("fifo") at every switch output port.
 """
 
 from __future__ import annotations
@@ -37,9 +47,10 @@ from typing import TYPE_CHECKING, Optional, Sequence, Union
 from ..atm.aal5 import SegmentMode
 from ..atm.link import OC3_MBPS
 from ..atm.striping import SkewModel, StripedLink
-from ..atm.switch import CellSwitch
+from ..atm.switch import BACKPRESSURE_MODES, DRAIN_POLICIES, CellSwitch
 from ..hw.specs import STRIPE_LINKS, MachineSpec
 from ..sim import Fidelity, SimulationError, Simulator
+from .backpressure import CreditGate
 
 if TYPE_CHECKING:
     from ..net.host_node import Host
@@ -98,6 +109,11 @@ class Fabric:
                  switching_delay_us: float = 1.0,
                  port_rate_mbps: float = OC3_MBPS,
                  port_queue_cells: int = 256,
+                 backpressure: str = "none",
+                 credit_window_cells: int = 64,
+                 efci_threshold_cells: Optional[int] = None,
+                 efci_pause_us: float = 60.0,
+                 drain_policy: str = "rr",
                  fidelity: Optional[Fidelity] = None,
                  names: Optional[Sequence[str]] = None,
                  **host_kw):
@@ -118,9 +134,29 @@ class Fabric:
         if topology == "direct" and len(machines) != 2:
             raise SimulationError(
                 "direct topology is the two-host special case")
+        if backpressure not in BACKPRESSURE_MODES:
+            raise SimulationError(
+                f"unknown backpressure mode {backpressure!r}; "
+                f"choose from {BACKPRESSURE_MODES}")
+        if drain_policy not in DRAIN_POLICIES:
+            raise SimulationError(
+                f"unknown drain policy {drain_policy!r}; "
+                f"choose from {DRAIN_POLICIES}")
+        if topology == "direct" and backpressure != "none":
+            raise SimulationError(
+                "backpressure needs a switched fabric; the direct "
+                "topology has no ports to protect")
 
         self.sim = Simulator()
         self.topology = topology
+        self.backpressure = backpressure
+        self.credit_window_cells = credit_window_cells
+        self.efci_pause_us = efci_pause_us
+        self.drain_policy = drain_policy
+        self.gates: list[CreditGate] = []
+        # delivered (rewritten) VCI -> (source host, source VCI): the
+        # reverse map the EFCI relay uses to find whom to pause.
+        self._efci_sources: dict[int, tuple[int, int]] = {}
         self.skew = skew
         self.segment_mode = segment_mode
         if names is None:
@@ -145,7 +181,7 @@ class Fabric:
         else:
             self._wire_switched(n_switches, prop_delay_us,
                                 switching_delay_us, port_rate_mbps,
-                                port_queue_cells)
+                                port_queue_cells, efci_threshold_cells)
 
     # -- wiring ------------------------------------------------------------------
 
@@ -167,7 +203,8 @@ class Fabric:
 
     def _wire_switched(self, n_switches: int, prop_delay_us: float,
                        switching_delay_us: float, port_rate_mbps: float,
-                       port_queue_cells: int) -> None:
+                       port_queue_cells: int,
+                       efci_threshold_cells: Optional[int]) -> None:
         if n_switches < 1:
             raise SimulationError("need at least one switch")
         n_switches = min(n_switches, len(self.hosts))
@@ -175,7 +212,10 @@ class Fabric:
             CellSwitch(self.sim, name=f"sw{k}",
                        port_rate_mbps=port_rate_mbps,
                        switching_delay_us=switching_delay_us,
-                       port_queue_cells=port_queue_cells)
+                       port_queue_cells=port_queue_cells,
+                       backpressure=self.backpressure,
+                       drain_policy=self.drain_policy,
+                       efci_threshold_cells=efci_threshold_cells)
             for k in range(n_switches)
         ]
         next_trunk = [0] * n_switches
@@ -214,15 +254,36 @@ class Fabric:
             self.uplinks.append(uplink)
             host.connect(uplink, segment_mode=self.segment_mode)
 
+        # Flow-control gates: one per host, consulted by its transmit
+        # processor before every cell; per-flow windows are installed
+        # as flows open.
+        if self.backpressure != "none":
+            for host in self.hosts:
+                gate = CreditGate(self.sim, name=f"{host.name}.gate")
+                self.gates.append(gate)
+                host.txp.credit_gate = gate
+
     def _deliver_fn(self, host_index: int):
         """Count cells crossing the fabric boundary into one host."""
         board_deliver = self.hosts[host_index].board.deliver_cell
 
         def deliver(cell) -> None:
             self._delivered[host_index] += 1
+            if cell.efci:
+                self._note_efci(cell.vci)
             board_deliver(cell)
 
         return deliver
+
+    def _note_efci(self, out_vci: int) -> None:
+        """The destination edge's half of the EFCI loop: relay a
+        congestion mark back to the flow's source, pausing it."""
+        source = self._efci_sources.get(out_vci)
+        if source is None:
+            return
+        host_index, src_vci = source
+        self.gates[host_index].pause(src_vci,
+                                     self.sim.now + self.efci_pause_us)
 
     def _arrival_fn(self, host_index: int, switch_index: int):
         """Count cells leaving one host's uplink into its switch."""
@@ -255,6 +316,9 @@ class Fabric:
         if self.topology == "switched":
             self._install_route(src, dst, src_vci, dst_vci)
             self._install_route(dst, src, dst_vci, src_vci)
+            if self.backpressure != "none":
+                self._plumb_backpressure(src, dst, src_vci, dst_vci)
+                self._plumb_backpressure(dst, src, dst_vci, src_vci)
         flow = Flow(src=src, dst=dst, src_vci=src_vci, dst_vci=dst_vci)
         self.flows.append(flow)
         return flow
@@ -271,6 +335,26 @@ class Fabric:
             trunk = self._interswitch[(s_sw, d_sw)]
             self.switches[s_sw].add_route(in_vci, trunk, in_vci)
             self.switches[d_sw].add_route(in_vci, d_trunk, out_vci)
+
+    def _plumb_backpressure(self, src: int, dst: int, in_vci: int,
+                            out_vci: int) -> None:
+        """Wire one direction of a flow into the control plane.
+
+        Credit mode: the source's gate gets a window on ``in_vci`` and
+        the final-hop port (the destination's downlink trunk, where the
+        cell carries ``out_vci``) returns a credit per forwarded cell.
+        EFCI mode: emission is uncounted, but delivered cells carrying
+        a congestion mark pause the source for a cooldown.
+        """
+        gate = self.gates[src]
+        d_sw, d_trunk = self._attach[dst]
+        if self.backpressure == "credit":
+            gate.open_vci(in_vci, window=self.credit_window_cells)
+            self.switches[d_sw].on_cell_forwarded(
+                d_trunk, out_vci, lambda: gate.refill(in_vci))
+        else:
+            gate.open_vci(in_vci, window=None)
+            self._efci_sources[out_vci] = (src, in_vci)
 
     def open_raw_flow(self, src: int, dst: int, echo_dst: bool = False,
                       **kw):
@@ -314,6 +398,31 @@ class Fabric:
     def cells_dropped(self) -> int:
         """Cells the fabric lost: unrouted VCIs and full ports."""
         return sum(sw.cells_dropped for sw in self.switches)
+
+    def drop_breakdown(self) -> dict:
+        """Losses split by cause, so the report distinguishes config
+        errors (no route) from congestion (queue full)."""
+        return {
+            "no_route": sum(sw.dropped_no_route for sw in self.switches),
+            "queue_full": sum(sw.dropped_queue_full
+                              for sw in self.switches),
+        }
+
+    def backpressure_stats(self) -> Optional[dict]:
+        """Flow-control counters for the cluster report, or None when
+        the fabric runs open loop (mode "none" or direct topology)."""
+        if self.backpressure == "none":
+            return None
+        stats: dict = {"mode": self.backpressure}
+        if self.backpressure == "credit":
+            stats["credit_window_cells"] = self.credit_window_cells
+        else:
+            stats["efci_pause_us"] = self.efci_pause_us
+        stats["hosts"] = [
+            {"name": host.name, **gate.stats()}
+            for host, gate in zip(self.hosts, self.gates)
+        ]
+        return stats
 
     def cells_queued(self) -> int:
         """Cells currently inside the fabric: in flight on uplinks

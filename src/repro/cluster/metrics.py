@@ -28,9 +28,11 @@ class ClusterReport:
     n_switches: int
     sim_time_us: float
     conservation: dict
+    drops: dict = field(default_factory=dict)
     hosts: list = field(default_factory=list)
     switches: list = field(default_factory=list)
     workload: Optional[dict] = None
+    backpressure: Optional[dict] = None
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -56,6 +58,11 @@ class ClusterReport:
                 verdict="holds" if conservation["holds"] else "VIOLATED",
                 **{k: conservation[k] for k in
                    ("injected", "delivered", "queued", "dropped")}))
+        if self.drops and (self.drops.get("no_route")
+                           or self.drops.get("queue_full")):
+            lines.append(
+                f"  drops: no-route {self.drops['no_route']}  "
+                f"queue-full {self.drops['queue_full']}")
         for sw in self.switches:
             deepest = max((p["max_queue_seen"] for p in sw["ports"]),
                           default=0)
@@ -63,6 +70,13 @@ class ClusterReport:
                 f"  {sw['name']}: {sw['cells_switched']} switched, "
                 f"{sw['cells_dropped']} dropped, "
                 f"max port queue {deepest}")
+        if self.backpressure:
+            bp = self.backpressure
+            stalls = sum(h["stalls"] for h in bp["hosts"])
+            stall_us = sum(h["stall_time_us"] for h in bp["hosts"])
+            lines.append(
+                f"  backpressure: {bp['mode']}, {stalls} stalls, "
+                f"{stall_us:.1f} us stalled")
         for host in self.hosts:
             lines.append(
                 f"  {host['name']:<4} pdus tx/rx "
@@ -96,6 +110,8 @@ def collect(fabric: Fabric,
             "name": sw.name,
             "cells_switched": sw.cells_switched,
             "cells_dropped": sw.cells_dropped,
+            "dropped_no_route": sw.dropped_no_route,
+            "dropped_queue_full": sw.dropped_queue_full,
             "cross_cells_injected": sw.cross_cells_injected,
             "cells_queued": sw.queued_cells(),
             "ports": [asdict(p) for p in sw.port_stats()],
@@ -106,9 +122,11 @@ def collect(fabric: Fabric,
         n_switches=len(fabric.switches),
         sim_time_us=fabric.sim.now,
         conservation=fabric.conservation(),
+        drops=fabric.drop_breakdown(),
         hosts=[asdict(host.stats()) for host in fabric.hosts],
         switches=switches,
         workload=workload.summary() if workload else None,
+        backpressure=fabric.backpressure_stats(),
     )
 
 

@@ -24,8 +24,8 @@ clients' streams are independent of fleet size.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Any, Generator, Optional
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Generator
 
 from ..sim import Delay, SimulationError, spawn
 from ..xkernel.protocols.rpc import RpcClient, RpcProtocol, RpcServer
@@ -260,8 +260,37 @@ def _setup_rpc(fabric: Fabric, spec: WorkloadSpec, rng: random.Random,
     return finish
 
 
+def sweep_offered_load(fabric_factory: Callable[[], Fabric],
+                       spec: WorkloadSpec,
+                       rates_mbps: list) -> list:
+    """Goodput-versus-offered-load curve: run ``spec`` once per
+    per-client rate on a fresh fabric and record what came out.
+
+    This is the congestion-collapse plot: without backpressure,
+    goodput rises with offered load until the incast port saturates
+    and then *falls* as drops corrupt ever more PDUs; with credit flow
+    control it must be monotone non-decreasing (saturating, never
+    collapsing).  Each point is an independent simulation, so points
+    share nothing but the spec's seed.
+    """
+    points = []
+    for rate in rates_mbps:
+        fabric = fabric_factory()
+        result = run_workload(fabric, replace(spec, rate_mbps=rate))
+        summary = result.summary()
+        points.append({
+            "offered_mbps_per_client": rate,
+            "goodput_mbps": summary["goodput_mbps"],
+            "messages_sent": summary["messages_sent"],
+            "messages_received": summary["messages_received"],
+            "drops": fabric.drop_breakdown(),
+        })
+    return points
+
+
 __all__ = [
     "PATTERNS", "PROC_READ", "PROC_WRITE",
     "pattern_flows", "client_rng",
     "WorkloadSpec", "ClientResult", "WorkloadResult", "run_workload",
+    "sweep_offered_load",
 ]

@@ -10,7 +10,7 @@ plus an identity; crossing between domains costs
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Generator
 
 from ..hw.cpu import HostCPU

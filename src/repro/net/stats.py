@@ -6,7 +6,7 @@ structure -- the first thing a user wants after a run.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass
 
 
 @dataclass(frozen=True)

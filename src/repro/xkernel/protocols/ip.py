@@ -15,7 +15,7 @@ Header layout (20 bytes, big-endian)::
 from __future__ import annotations
 
 import struct
-from typing import Any, Generator, Optional
+from typing import Any, Generator
 
 from ...atm.crc import internet_checksum
 from ...hw.cpu import HostCPU

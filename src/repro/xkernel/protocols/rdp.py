@@ -20,7 +20,7 @@ Header layout (16 bytes, big-endian)::
 from __future__ import annotations
 
 import struct
-from typing import Any, Generator, Optional
+from typing import Any, Generator
 
 from ...atm.crc import fast_internet_checksum as internet_checksum
 from ...hw.cpu import HostCPU

@@ -15,7 +15,7 @@ Header layout (12 bytes, big-endian)::
 from __future__ import annotations
 
 import struct
-from typing import Any, Callable, Generator, Optional
+from typing import Any, Callable, Generator
 
 from ...hw.cpu import HostCPU
 from ...sim import Signal, SimulationError, Simulator

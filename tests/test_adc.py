@@ -1,12 +1,10 @@
 """Application device channel tests (section 3.2)."""
 
-import pytest
-
 from repro.adc import AdcChannelDriver, AdcManager, grants_overlap
 from repro.hw import DS5000_200
 from repro.net import Host
 from repro.osiris import Descriptor, FLAG_END_OF_PDU
-from repro.sim import Delay, SimulationError, Simulator, spawn
+from repro.sim import Simulator, spawn
 from repro.xkernel.protocols.testproto import TestProgram
 
 

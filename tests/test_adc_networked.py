@@ -6,7 +6,6 @@ queue pair; the receiving kernel fields one interrupt and otherwise
 never touches the data.
 """
 
-import pytest
 
 from repro.adc import AdcChannelDriver, AdcManager
 from repro.hw import DEC3000_600, DS5000_200

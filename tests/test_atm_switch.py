@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.atm import SegmentMode, SkewModel, StripedLink, decode_pdu
+from repro.atm import SegmentMode, SkewModel, StripedLink
 from repro.atm.switch import CellSwitch
 from repro.hw import DS5000_200
 from repro.net import Host

@@ -1,7 +1,5 @@
 """Baseline mechanism tests (spin-lock queue, PIO, per-PDU interrupts)."""
 
-import pytest
-
 from repro.baselines import (
     LockedDescriptorQueue, dma_receive, pio_receive,
     run_interrupt_discipline,

@@ -1,9 +1,7 @@
 """Tests for the benchmark harness building blocks."""
 
-import pytest
 from hypothesis import given, strategies as st
 
-from repro.atm.crc import verify_internet_checksum
 from repro.bench import (
     build_ip_fragments, build_udp_packet, format_series, format_table,
     message_count_for, pattern_data, ratio_note, udp_ip_message_pdus,

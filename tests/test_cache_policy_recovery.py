@@ -9,8 +9,6 @@ line really returns stale data, the UDP checksum really fails, and the
 recovery really fixes it.
 """
 
-import pytest
-
 from repro.driver.config import CachePolicyKind, DriverConfig
 from repro.hw import DEC3000_600, DS5000_200
 from repro.net import Host

@@ -80,6 +80,36 @@ def test_cluster_json_is_deterministic(capsys):
     assert capsys.readouterr().out == first
 
 
+CREDIT_ARGS = ["cluster", "--hosts", "4", "--pattern", "incast",
+               "--messages", "3", "--size", "4096",
+               "--backpressure", "credit", "--seed", "1", "--json"]
+
+
+def test_cluster_credit_json_deterministic_and_lossless(capsys):
+    """The acceptance run: credit-mode incast is deterministic for a
+    fixed seed, reports zero queue-full drops, and the conservation
+    identity holds with the stall/credit counters included."""
+    assert main(CREDIT_ARGS) == 0
+    first = capsys.readouterr().out
+    assert main(CREDIT_ARGS) == 0
+    assert capsys.readouterr().out == first
+    report = json.loads(first)
+    assert report["conservation"]["holds"] is True
+    assert report["drops"]["queue_full"] == 0
+    bp = report["backpressure"]
+    assert bp["mode"] == "credit"
+    assert all(h["credits_outstanding"] == 0 for h in bp["hosts"])
+
+
+def test_cluster_sweep_renders_curve(capsys):
+    assert main(["cluster", "--hosts", "4", "--pattern", "incast",
+                 "--messages", "2", "--sweep", "10,40", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert [p["offered_mbps_per_client"] for p in doc["points"]] == \
+        [10.0, 40.0]
+    assert all("goodput_mbps" in p for p in doc["points"])
+
+
 def test_cluster_rpc_render(capsys):
     assert main(["cluster", "--hosts", "3", "--workload", "rpc",
                  "--messages", "2"]) == 0

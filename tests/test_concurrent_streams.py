@@ -7,8 +7,6 @@ demultiplexing, buffer accounting and PDU framing never cross streams
 -- including the interleaving of large (multi-buffer) PDUs.
 """
 
-import pytest
-
 from repro.hw import DS5000_200
 from repro.net import BackToBack
 from repro.sim import Delay, spawn

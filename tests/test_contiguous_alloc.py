@@ -6,8 +6,6 @@ succeeds, a whole multi-page buffer is one DMA-able physical run --
 the general fix for buffer fragmentation on the copy-free path.
 """
 
-import pytest
-
 from repro.host import AddressSpace
 from repro.hw import PhysicalMemory
 

@@ -6,7 +6,6 @@ matters: every delivered byte equals the transmitted byte, in order,
 per stream, and every buffer is accounted for.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.atm import decode_pdu, segment

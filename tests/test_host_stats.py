@@ -1,7 +1,7 @@
 """Host statistics snapshot tests."""
 
 from repro.hw import DS5000_200
-from repro.net import BackToBack, HostStats, snapshot
+from repro.net import BackToBack, HostStats
 from repro.sim import spawn
 
 

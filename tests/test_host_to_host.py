@@ -6,11 +6,9 @@ processor -> striped link -> receive processor -> DMA -> interrupt ->
 driver thread -> IP reassembly -> UDP -> test program.
 """
 
-import pytest
-
 from repro.hw import DEC3000_600, DS5000_200
 from repro.net import BackToBack
-from repro.sim import Delay, spawn
+from repro.sim import spawn
 
 
 def _run_until_received(net, app, count, limit_us=10_000_000.0):

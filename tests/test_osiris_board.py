@@ -2,10 +2,9 @@
 
 import pytest
 
-from repro.osiris import Descriptor, N_CHANNELS
+from repro.osiris import N_CHANNELS
 from repro.sim import SimulationError
 
-from conftest import BoardRig
 
 
 def test_board_has_16_channels(rig):

@@ -4,13 +4,10 @@ Two OSIRIS boards linked back-to-back (as in the paper's testbed),
 including skew injection and both skew-tolerant reassembly modes.
 """
 
-import pytest
-
 from repro.atm import SegmentMode, SkewModel, StripedLink, decode_pdu
 from repro.hw.dma import DmaMode
 from repro.osiris import RxProcessor, TxProcessor
 
-from conftest import BoardRig
 
 
 class _Pair:
@@ -19,7 +16,7 @@ class _Pair:
     def __init__(self, mode=SegmentMode.IN_ORDER, skew=None,
                  rx_dma_mode=DmaMode.SINGLE_CELL):
         from repro.hw import (
-            DataCache, DS5000_200, MemorySystem, PhysicalMemory,
+            DataCache, DS5000_200, PhysicalMemory,
             TurboChannel,
         )
         from repro.osiris import OsirisBoard

@@ -1,8 +1,6 @@
 """Receive processor tests: placement, combining, interrupts, drops."""
 
-import pytest
-
-from repro.atm import Cell, SegmentMode, cell_count, decode_pdu, segment
+from repro.atm import SegmentMode, cell_count, decode_pdu, segment
 from repro.hw.dma import DmaMode
 from repro.osiris import (
     FictitiousPduSource, InterruptKind, InterruptMode, RxProcessor,

@@ -1,8 +1,6 @@
 """Transmit processor tests: segmentation, DMA discipline, interrupts."""
 
-import pytest
-
-from repro.atm import Reassembler, SegmentMode, cell_count, decode_pdu
+from repro.atm import Reassembler, SegmentMode, cell_count
 from repro.hw.dma import DmaMode
 from repro.osiris import InterruptKind, TxProcessor
 

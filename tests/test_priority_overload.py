@@ -12,13 +12,10 @@ channel overflows *on the board* while a serviced channel is
 unaffected -- no host cycles are spent on the dropped traffic.
 """
 
-import pytest
-
 from repro.atm import segment
 from repro.osiris import Descriptor, InterruptKind, RxProcessor
-from repro.sim import Delay, spawn
+from repro.sim import spawn
 
-from conftest import BoardRig
 
 
 def _flood(rig, vci, pdus, size=600):

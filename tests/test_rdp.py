@@ -5,13 +5,10 @@ protocol-independence claim -- and supplies the error detection the
 lazy cache-invalidation scheme of section 2.3 relies on.
 """
 
-import random
-
-import pytest
 
 from repro.hw import DS5000_200
-from repro.net import BackToBack, Host
-from repro.sim import Delay, Simulator, spawn
+from repro.net import BackToBack
+from repro.sim import spawn
 from repro.xkernel import RdpProtocol, RdpSession, TestProgram
 
 

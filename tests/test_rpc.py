@@ -1,7 +1,5 @@
 """RPC layer tests, including the NFS-style page-multiple workload."""
 
-import pytest
-
 from repro.hw import DS5000_200
 from repro.net import BackToBack
 from repro.sim import spawn

@@ -1,12 +1,9 @@
 """Event tracer tests."""
 
-import pytest
-
 from repro.hw import DS5000_200
 from repro.net import BackToBack
 from repro.sim import Simulator, Tracer, attach_board_tracer, \
     attach_driver_tracer, spawn
-from repro.sim.tracing import TraceRecord
 
 
 def test_emit_and_select():
@@ -74,7 +71,6 @@ def test_traced_end_to_end_run():
     net.sim.run()
     assert len(app_b.receptions) == 1
     # One cell-arrival per cell on the wire.
-    from repro.atm import cell_count
     arrivals = tracer.count("board", "cell-arrival")
     assert arrivals == net.link_ab.cells_sent
     assert tracer.count("driver", "send-pdu") == 1

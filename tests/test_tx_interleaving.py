@@ -8,7 +8,7 @@ queued behind large ones.
 
 import pytest
 
-from repro.atm import Reassembler, cell_count
+from repro.atm import Reassembler
 from repro.osiris import TxProcessor
 
 from conftest import BoardRig
@@ -109,7 +109,6 @@ def test_interleaved_stripes_by_pdu_local_index():
     """Cell i of each PDU must ride link i mod 4 even when PDUs are
     interleaved -- the invariant skew reassembly depends on."""
     from repro.atm import StripedLink
-    from repro.sim import Simulator
 
     r = BoardRig()
     r.board.open_channel(1)

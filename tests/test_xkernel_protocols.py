@@ -1,6 +1,5 @@
 """UDP/IP protocol unit tests (against a loopback driver stub)."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.host import AddressSpace
@@ -10,7 +9,7 @@ from repro.hw import (
 )
 from repro.sim import Simulator, spawn
 from repro.xkernel import (
-    IpProtocol, IpSession, Message, Protocol, Session, TestProgram,
+    IpProtocol, IpSession, Protocol, Session, TestProgram,
     TestProtocol, UdpProtocol, UdpSession,
 )
 
@@ -130,7 +129,6 @@ def test_interleaved_fragment_streams_reassemble():
     """Fragments of two messages interleave at the driver: IP must
     sort them by ident."""
     sim, app, ip, udp = _stack()
-    from repro.xkernel.protocols.ip import HEADER_BYTES
 
     # Collect fragments instead of delivering, then deliver shuffled.
     held = []
