@@ -1,0 +1,143 @@
+"""Sharded-cluster scaling sweep: hosts x shards, events/sec.
+
+Runs the same pairs workload through the single-process fabric and
+through ``run_cluster_sharded`` at each shard count, checks the
+reports stay byte-identical, and writes a canonical JSON document::
+
+    python benchmarks/bench_cluster_scale.py --out BENCH_cluster_scale.json
+
+Speedup is wall time of the plain run over wall time of the sharded
+run at the same host count.  ``cpu_count`` is recorded alongside the
+numbers: with fewer cores than shards the proc backend cannot beat
+the serial run, and the honest expectation is overhead, not speedup.
+The sync cost scales with the number of windows, which is roughly
+``sim_time / prop_delay`` -- a longer trunk (--prop-delay) buys
+coarser windows for both modes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench.report import to_json                     # noqa: E402
+from repro.cluster import (                                # noqa: E402
+    Fabric, WorkloadSpec, collect, run_workload,
+)
+from repro.cluster.sharded import run_cluster_sharded      # noqa: E402
+from repro.hw.specs import DS5000_200                      # noqa: E402
+
+
+def _spec(args) -> WorkloadSpec:
+    return WorkloadSpec(
+        pattern="pairs", kind="open", seed=args.seed,
+        message_bytes=args.size, messages_per_client=args.messages,
+        requests_per_client=args.messages)
+
+
+def _fabric_kwargs(args, n_hosts: int) -> dict:
+    return dict(
+        machines=DS5000_200, n_hosts=n_hosts, n_switches=1,
+        backpressure="credit", credit_window_cells=64,
+        drain_policy="rr", prop_delay_us=args.prop_delay)
+
+
+def run_sweep(args) -> dict:
+    points = []
+    for n_hosts in args.hosts:
+        kwargs = _fabric_kwargs(args, n_hosts)
+        spec = _spec(args)
+
+        start = time.perf_counter()
+        fabric = Fabric(**kwargs)
+        workload = run_workload(fabric, spec)
+        plain_wall = time.perf_counter() - start
+        plain_json = collect(fabric, workload).to_json()
+        plain_events = fabric.sim.events_processed
+        points.append({
+            "hosts": n_hosts, "shards": 1, "backend": "plain",
+            "wall_s": round(plain_wall, 4),
+            "events": plain_events,
+            "events_per_s": round(plain_events / plain_wall),
+            "windows": 0, "speedup_vs_plain": 1.0,
+            "identical_to_plain": True,
+        })
+        print(f"hosts={n_hosts:<3d} plain      "
+              f"{plain_wall:6.2f}s  {plain_events:>8d} events")
+
+        for n_shards in args.shards:
+            if n_shards > n_hosts:
+                continue
+            start = time.perf_counter()
+            report, run = run_cluster_sharded(
+                kwargs, _spec(args), n_shards, backend=args.backend)
+            wall = time.perf_counter() - start
+            identical = report.to_json() == plain_json
+            points.append({
+                "hosts": n_hosts, "shards": n_shards,
+                "backend": args.backend,
+                "wall_s": round(wall, 4),
+                "events": run.events_processed,
+                "events_per_s": round(run.events_processed / wall),
+                "windows": run.windows,
+                "speedup_vs_plain": round(plain_wall / wall, 3),
+                "identical_to_plain": identical,
+            })
+            print(f"hosts={n_hosts:<3d} {args.backend} K={n_shards}  "
+                  f"{wall:6.2f}s  {run.events_processed:>8d} events  "
+                  f"{run.windows:>6d} windows  "
+                  f"speedup {plain_wall / wall:4.2f}x"
+                  f"{'' if identical else '  REPORT MISMATCH'}")
+            if not identical:
+                raise SystemExit(
+                    "sharded report diverged from the plain run -- "
+                    "determinism is broken, numbers are meaningless")
+
+    return {
+        "benchmark": "cluster_scale",
+        "cpu_count": os.cpu_count(),
+        "python": sys.version.split()[0],
+        "params": {
+            "pattern": "pairs", "backpressure": "credit",
+            "message_bytes": args.size, "messages": args.messages,
+            "prop_delay_us": args.prop_delay, "seed": args.seed,
+            "backend": args.backend,
+        },
+        "points": points,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="hosts x shards scaling sweep for the cluster")
+    parser.add_argument("--hosts", type=lambda s: [int(x) for x in
+                        s.split(",")], default=[8, 16])
+    parser.add_argument("--shards", type=lambda s: [int(x) for x in
+                        s.split(",")], default=[2, 4])
+    parser.add_argument("--backend", default="proc",
+                        choices=("proc", "thread", "inline"))
+    parser.add_argument("--messages", type=int, default=8)
+    parser.add_argument("--size", type=int, default=8192)
+    parser.add_argument("--prop-delay", type=float, default=2.0)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--out", default=None,
+                        help="write canonical JSON here")
+    args = parser.parse_args(argv)
+
+    document = run_sweep(args)
+    payload = to_json(document)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(payload + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(payload)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

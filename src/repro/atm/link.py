@@ -41,6 +41,12 @@ class CellPipe:
         self.max_queue = 0
         self._queue: Store = Store(sim, f"{self.name}.q")
         self._last_arrival = 0.0
+        # Pluggable delivery scheduler.  A sharded fabric replaces this
+        # to route the arrival through a boundary mailbox instead of the
+        # local event queue; `arrival >= emission time + prop_delay_us`
+        # is the lookahead guarantee the replacement relies on.
+        self.schedule_delivery: Callable[[float, Cell], None] = \
+            self._schedule_local
         spawn(sim, self._pump(), f"{self.name}.pump")
 
     def submit(self, cell: Cell) -> None:
@@ -60,7 +66,10 @@ class CellPipe:
             arrival = max(arrival, self._last_arrival)
             self._last_arrival = arrival
             self.cells_carried += 1
-            self.sim.call_at(arrival, self._make_delivery(cell))
+            self.schedule_delivery(arrival, cell)
+
+    def _schedule_local(self, arrival: float, cell: Cell) -> None:
+        self.sim.call_at(arrival, self._make_delivery(cell))
 
     def _make_delivery(self, cell: Cell) -> Callable[[], None]:
         def fire() -> None:

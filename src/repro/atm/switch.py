@@ -211,6 +211,10 @@ class CellSwitch:
         # trunk id -> list of output ports (one per lane).
         self._trunks: dict[int, list[_OutputPort]] = {}
         self._trunk_deliver: dict[int, DeliverFn] = {}
+        # trunk id -> lane count for trunks owned by another shard's
+        # replica of this switch; routes may reference them but cells
+        # must never be queued here.
+        self._remote_trunks: dict[int, int] = {}
         # input VCI -> (trunk id, output VCI).
         self._routes: dict[int, tuple[int, int]] = {}
         # (trunk id, cell VCI at the port) -> credit-return callback.
@@ -248,15 +252,34 @@ class CellSwitch:
         self._trunks[trunk_id] = ports
         self._trunk_deliver[trunk_id] = deliver
 
+    def add_remote_trunk(self, trunk_id: int,
+                         n_lanes: int = STRIPE_LINKS) -> None:
+        """Register a trunk whose ports live on another shard.
+
+        A sharded fabric keeps one replica of each switch per shard;
+        every replica knows the full routing table (so any shard can
+        look up where a cell is headed) but only the owning shard's
+        replica has real ports.  Remote trunks carry just their lane
+        count, for route validation.
+        """
+        if trunk_id in self._trunks or trunk_id in self._remote_trunks:
+            raise SimulationError(f"trunk {trunk_id} exists")
+        self._remote_trunks[trunk_id] = n_lanes
+
     def add_route(self, in_vci: int, trunk_id: int,
                   out_vci: Optional[int] = None) -> None:
         """Route ``in_vci`` to ``trunk_id``, rewriting to ``out_vci``."""
         if in_vci in self._routes:
             raise SimulationError(f"VCI {in_vci} already routed")
-        if trunk_id not in self._trunks:
+        if (trunk_id not in self._trunks
+                and trunk_id not in self._remote_trunks):
             raise SimulationError(f"unknown trunk {trunk_id}")
         self._routes[in_vci] = (trunk_id, out_vci if out_vci is not None
                                 else in_vci)
+
+    def route_for(self, vci: int) -> Optional[tuple[int, int]]:
+        """(trunk id, output VCI) for an input VCI, or None."""
+        return self._routes.get(vci)
 
     def on_cell_forwarded(self, trunk_id: int, vci: int,
                           callback: Callable[[], None]) -> None:
@@ -276,6 +299,10 @@ class CellSwitch:
             self.dropped_no_route += 1
             return
         trunk_id, out_vci = route
+        if trunk_id in self._remote_trunks:
+            raise SimulationError(
+                f"{self.name}: cell for VCI {cell.vci} routed to remote "
+                f"trunk {trunk_id}; the owning shard must queue it")
         ports = self._trunks[trunk_id]
         if cell.tx_index >= 0:
             lane = cell.tx_index % len(ports)

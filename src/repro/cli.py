@@ -96,12 +96,15 @@ def _cmd_cluster(args) -> None:
     segment = (SegmentMode.SEQUENCE if args.segment == "sequence"
                else SegmentMode.IN_ORDER)
 
+    fabric_kwargs = dict(
+        machines=_machine(args.machine), n_hosts=args.hosts,
+        n_switches=args.switches, segment_mode=segment,
+        backpressure=args.backpressure,
+        credit_window_cells=args.window,
+        drain_policy=args.drain)
+
     def make_fabric() -> Fabric:
-        return Fabric(_machine(args.machine), args.hosts,
-                      n_switches=args.switches, segment_mode=segment,
-                      backpressure=args.backpressure,
-                      credit_window_cells=args.window,
-                      drain_policy=args.drain)
+        return Fabric(**fabric_kwargs)
 
     spec = WorkloadSpec(
         pattern=args.pattern, kind=args.workload, seed=args.seed,
@@ -110,6 +113,17 @@ def _cmd_cluster(args) -> None:
         arrival="poisson" if args.poisson else "constant",
         requests_per_client=args.messages)
     try:
+        if args.shards > 1:
+            if args.sweep:
+                raise SimulationError(
+                    "--sweep runs many independent fabrics; combine "
+                    "it with --shards 1")
+            from .cluster.sharded import run_cluster_sharded
+            report, _run = run_cluster_sharded(
+                fabric_kwargs, spec, args.shards,
+                backend=args.shard_backend)
+            print(report.to_json() if args.json else report.render())
+            return
         if args.sweep:
             rates = [float(r) for r in args.sweep.split(",")]
             points = sweep_offered_load(make_fabric, spec, rates)
@@ -225,6 +239,15 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--segment", default="sequence",
                          choices=("sequence", "in-order"),
                          help="reassembly strategy at the receivers")
+    cluster.add_argument("--shards", type=int, default=1,
+                         help="partition hosts across N simulators "
+                              "(conservative window sync; results are "
+                              "bit-identical to --shards 1)")
+    cluster.add_argument("--shard-backend", default="proc",
+                         choices=["proc", "thread", "inline"],
+                         help="execution backend for --shards > 1: "
+                              "processes (parallel), threads, or an "
+                              "in-process loop (debugging)")
     cluster.add_argument("--seed", type=int, default=1)
     cluster.add_argument("--json", action="store_true",
                          help="machine-readable JSON report")

@@ -11,15 +11,18 @@ through one aggregated report with a cell-conservation invariant
 from .backpressure import BACKPRESSURE_MODES, CreditGate
 from .fabric import FIRST_FLOW_VCI, Fabric, Flow, VciAllocator
 from .metrics import ClusterReport, collect
+from .sharded import ShardFabric, merge_partials, run_cluster_sharded
 from .workloads import (
     PATTERNS, ClientResult, WorkloadResult, WorkloadSpec, client_rng,
-    pattern_flows, run_workload, sweep_offered_load,
+    pattern_flows, run_workload, setup_workload, sweep_offered_load,
 )
 
 __all__ = [
     "Fabric", "Flow", "VciAllocator", "FIRST_FLOW_VCI",
     "CreditGate", "BACKPRESSURE_MODES",
     "ClusterReport", "collect",
+    "ShardFabric", "run_cluster_sharded", "merge_partials",
     "PATTERNS", "WorkloadSpec", "WorkloadResult", "ClientResult",
-    "pattern_flows", "client_rng", "run_workload", "sweep_offered_load",
+    "pattern_flows", "client_rng", "run_workload", "setup_workload",
+    "sweep_offered_load",
 ]

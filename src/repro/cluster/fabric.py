@@ -37,6 +37,28 @@ the cheap alternative: congested ports mark cells, the destination
 edge relays the mark, and the source pauses for a cooldown.
 ``drain_policy`` selects per-VCI round-robin ("rr") or the old single
 shared FIFO ("fifo") at every switch output port.
+
+Boundary channels
+-----------------
+
+In the switched topology, every interaction that crosses between
+hosts -- an uplink cell arriving at its switch, a cell hopping an
+inter-switch trunk, a credit returning to a source gate, an EFCI mark
+relayed back -- travels over a *boundary channel* with an explicit
+``prop_delay_us`` of latency and a content-based ordering key
+``(tag, ids..., n)`` (``n`` a per-channel monotone counter stamped at
+the single emitting site).  Two consequences:
+
+* the control loops (credit return, EFCI relay) are no longer
+  instantaneous, which is physically honest -- backpressure signals
+  ride wires too;
+* every cross-host event's position in the event queue is determined
+  by *content*, not by scheduling order, which is what lets
+  :mod:`repro.cluster.sharded` partition the hosts across K
+  simulators and still produce bit-identical results: the
+  propagation delay is the conservative lookahead, and the keys make
+  the merge order at each boundary independent of which side
+  scheduled the event.
 """
 
 from __future__ import annotations
@@ -117,10 +139,6 @@ class Fabric:
                  fidelity: Optional[Fidelity] = None,
                  names: Optional[Sequence[str]] = None,
                  **host_kw):
-        # Deferred: repro.net.network subclasses Fabric, so importing
-        # repro.net at module scope here would be circular.
-        from ..net.host_node import Host
-
         if isinstance(machines, MachineSpec):
             machines = [machines] * (n_hosts if n_hosts else 2)
         machines = list(machines)
@@ -152,8 +170,9 @@ class Fabric:
         self.backpressure = backpressure
         self.credit_window_cells = credit_window_cells
         self.efci_pause_us = efci_pause_us
+        self.prop_delay_us = prop_delay_us
         self.drain_policy = drain_policy
-        self.gates: list[CreditGate] = []
+        self.gates: list[Optional[CreditGate]] = []
         # delivered (rewritten) VCI -> (source host, source VCI): the
         # reverse map the EFCI relay uses to find whom to pause.
         self._efci_sources: dict[int, tuple[int, int]] = {}
@@ -161,8 +180,9 @@ class Fabric:
         self.segment_mode = segment_mode
         if names is None:
             names = [f"h{i}" for i in range(len(machines))]
-        self.hosts: list[Host] = [
-            Host(self.sim, spec, name=names[i], fidelity=fidelity, **host_kw)
+        self.names = list(names)
+        self.hosts: list[Optional[Host]] = [
+            self._make_host(i, spec, names[i], fidelity, host_kw)
             for i, spec in enumerate(machines)
         ]
         self.vcis = VciAllocator()
@@ -173,6 +193,19 @@ class Fabric:
         self._attach: list[tuple[int, int]] = []
         # (from switch, to switch) -> trunk id on the 'from' switch.
         self._interswitch: dict[tuple[int, int], int] = {}
+        # (switch, trunk) -> where the trunk leads: ("host", i) for a
+        # downlink, ("switch", t) for an inter-switch trunk.  A sharded
+        # fabric maps this to the shard that owns the trunk's ports.
+        self._trunk_dest: dict[tuple[int, int], tuple[str, int]] = {}
+        # Per-boundary-channel emission counters (the `n` in the
+        # ordering keys).
+        self._chan_seq: dict[tuple, int] = {}
+        # Cells emitted onto a delayed inter-switch hop (or sitting in
+        # a shard mailbox) and not yet absorbed by the far switch.
+        # Without this the conservation identity would double-miss
+        # them: the emitting switch already counted them forwarded, the
+        # receiving one hasn't seen them yet.
+        self._isw_in_flight = 0
         self._delivered = [0] * len(self.hosts)
         self._uplink_arrived = [0] * len(self.hosts)
 
@@ -182,6 +215,65 @@ class Fabric:
             self._wire_switched(n_switches, prop_delay_us,
                                 switching_delay_us, port_rate_mbps,
                                 port_queue_cells, efci_threshold_cells)
+
+    # -- sharding hooks -----------------------------------------------------------
+    #
+    # The base fabric owns everything; repro.cluster.sharded overrides
+    # these so each shard instantiates only its slice of the hosts and
+    # trunk ports while running the *same* construction sequence (VCI
+    # allocation, trunk numbering, route installation stay global).
+
+    def _make_host(self, index: int, spec: MachineSpec, name: str,
+                   fidelity, host_kw: dict):
+        # Deferred: repro.net.network subclasses Fabric, so importing
+        # repro.net at module scope here would be circular.
+        from ..net.host_node import Host
+        return Host(self.sim, spec, name=name, fidelity=fidelity,
+                    **host_kw)
+
+    def owns_host(self, index: int) -> bool:
+        """Does this fabric instantiate host ``index``?"""
+        return True
+
+    def _owns_interswitch(self, s: int, t: int) -> bool:
+        """Does this fabric own the ports of trunk ``s -> t``?"""
+        return True
+
+    def _chan_key(self, tag: str, *ids) -> tuple:
+        """Next ordering key on boundary channel ``(tag, *ids)``."""
+        chan = (tag,) + ids
+        n = self._chan_seq.get(chan, 0)
+        self._chan_seq[chan] = n + 1
+        return chan + (n,)
+
+    def _emit_boundary(self, when: float, key: tuple, msg: tuple) -> None:
+        """Deliver boundary message ``msg`` at ``when``.
+
+        The base fabric schedules it on its own simulator; a shard
+        routes it to the owning shard's mailbox instead.  ``when`` is
+        always >= emission time + ``prop_delay_us`` -- the lookahead
+        that makes conservative windowing sound.
+        """
+        self.sim.call_at(when, lambda: self._apply_boundary(msg), key=key)
+
+    def _apply_boundary(self, msg: tuple) -> None:
+        """Execute a boundary message on the receiving side."""
+        kind = msg[0]
+        if kind == "in":
+            _, switch_index, host_index, cell = msg
+            if host_index >= 0:
+                self._uplink_arrived[host_index] += 1
+            else:
+                self._isw_in_flight -= 1
+            self.switches[switch_index].input_cell(cell)
+        elif kind == "refill":
+            _, src, vci = msg
+            self.gates[src].refill(vci)
+        elif kind == "pause":
+            _, src, vci = msg
+            self.gates[src].pause(vci, self.sim.now + self.efci_pause_us)
+        else:
+            raise SimulationError(f"unknown boundary message {msg!r}")
 
     # -- wiring ------------------------------------------------------------------
 
@@ -221,36 +313,54 @@ class Fabric:
         next_trunk = [0] * n_switches
 
         # Downlinks: one output trunk per host, lanes matching its
-        # striped link so cell i keeps riding lane i mod 4.
-        for i, host in enumerate(self.hosts):
+        # striped link so cell i keeps riding lane i mod 4.  Trunk
+        # numbering must not depend on ownership -- every shard walks
+        # the same sequence.
+        for i in range(len(self.hosts)):
             k = i % n_switches
             trunk = next_trunk[k]
             next_trunk[k] += 1
-            self.switches[k].add_trunk(trunk, self._deliver_fn(i))
+            if self.owns_host(i):
+                self.switches[k].add_trunk(trunk, self._deliver_fn(i))
+            else:
+                self.switches[k].add_remote_trunk(trunk)
             self._attach.append((k, trunk))
+            self._trunk_dest[(k, trunk)] = ("host", i)
 
         # Inter-switch trunks: full mesh, one trunk per ordered pair,
-        # so any flow crosses at most two switches.
+        # so any flow crosses at most two switches.  The hop has real
+        # propagation delay (it is a link like any other), delivered
+        # through a keyed boundary channel.
         for s in range(n_switches):
             for t in range(n_switches):
                 if s == t:
                     continue
                 trunk = next_trunk[s]
                 next_trunk[s] += 1
-                self.switches[s].add_trunk(trunk,
-                                           self.switches[t].input_cell)
+                if self._owns_interswitch(s, t):
+                    self.switches[s].add_trunk(trunk,
+                                               self._isw_deliver_fn(s, t))
+                else:
+                    self.switches[s].add_remote_trunk(trunk)
                 self._interswitch[(s, t)] = trunk
+                self._trunk_dest[(s, trunk)] = ("switch", t)
 
         # Uplinks: each host's striped link terminates at its switch.
         # Disjoint seed offsets keep per-lane RNG streams independent
-        # across hosts.
-        for i, host in enumerate(self.hosts):
+        # across hosts.  Each lane's pipe hands finished arrivals to
+        # the boundary scheduler instead of the raw event queue.
+        for i in range(len(self.hosts)):
+            if not self.owns_host(i):
+                continue
+            host = self.hosts[i]
             k = self._attach[i][0]
             skew = (self.skew.clone(i * STRIPE_LINKS)
                     if self.skew is not None else None)
-            uplink = StripedLink(self.sim, self._arrival_fn(i, k),
+            uplink = StripedLink(self.sim, self._unexpected_delivery,
                                  skew=skew, prop_delay_us=prop_delay_us,
                                  name=f"{host.name}.up")
+            for pipe in uplink.pipes:
+                self._hook_uplink_pipe(i, k, pipe)
             self.uplinks.append(uplink)
             host.connect(uplink, segment_mode=self.segment_mode)
 
@@ -259,6 +369,9 @@ class Fabric:
         # as flows open.
         if self.backpressure != "none":
             for host in self.hosts:
+                if host is None:
+                    self.gates.append(None)
+                    continue
                 gate = CreditGate(self.sim, name=f"{host.name}.gate")
                 self.gates.append(gate)
                 host.txp.credit_gate = gate
@@ -277,21 +390,45 @@ class Fabric:
 
     def _note_efci(self, out_vci: int) -> None:
         """The destination edge's half of the EFCI loop: relay a
-        congestion mark back to the flow's source, pausing it."""
+        congestion mark back to the flow's source, pausing it.  The
+        relay rides a boundary channel, so the pause lands one
+        propagation delay after the marked cell arrived."""
         source = self._efci_sources.get(out_vci)
         if source is None:
             return
         host_index, src_vci = source
-        self.gates[host_index].pause(src_vci,
-                                     self.sim.now + self.efci_pause_us)
+        key = self._chan_key("efci", out_vci)
+        self._emit_boundary(self.sim.now + self.prop_delay_us, key,
+                            ("pause", host_index, src_vci))
 
-    def _arrival_fn(self, host_index: int, switch_index: int):
-        """Count cells leaving one host's uplink into its switch."""
-        input_cell = self.switches[switch_index].input_cell
+    def _hook_uplink_pipe(self, host_index: int, switch_index: int,
+                          pipe) -> None:
+        """Route one uplink lane's arrivals through the boundary
+        scheduler: the pipe computes the (in-order, skewed) arrival
+        time, the boundary channel delivers the switch-input event."""
+        lane = pipe.link_id
+
+        def schedule(arrival: float, cell) -> None:
+            key = self._chan_key("up", host_index, lane)
+            self._emit_boundary(arrival, key,
+                                ("in", switch_index, host_index, cell))
+
+        pipe.schedule_delivery = schedule
+
+    def _unexpected_delivery(self, cell) -> None:
+        raise SimulationError(
+            "uplink pipe bypassed its boundary scheduler")
+
+    def _isw_deliver_fn(self, s: int, t: int):
+        """Delivery side of inter-switch trunk ``s -> t``: after the
+        drain, the cell still has a propagation delay of wire before
+        the far switch sees it."""
 
         def deliver(cell) -> None:
-            self._uplink_arrived[host_index] += 1
-            input_cell(cell)
+            key = self._chan_key("isw", s, t, cell.link_id)
+            self._isw_in_flight += 1
+            self._emit_boundary(self.sim.now + self.prop_delay_us, key,
+                                ("in", t, -1, cell))
 
         return deliver
 
@@ -342,27 +479,48 @@ class Fabric:
 
         Credit mode: the source's gate gets a window on ``in_vci`` and
         the final-hop port (the destination's downlink trunk, where the
-        cell carries ``out_vci``) returns a credit per forwarded cell.
-        EFCI mode: emission is uncounted, but delivered cells carrying
-        a congestion mark pause the source for a cooldown.
+        cell carries ``out_vci``) returns a credit per forwarded cell;
+        the credit rides a boundary channel back, so it lands one
+        propagation delay later.  EFCI mode: emission is uncounted, but
+        delivered cells carrying a congestion mark pause the source for
+        a cooldown.
         """
         gate = self.gates[src]
         d_sw, d_trunk = self._attach[dst]
         if self.backpressure == "credit":
-            gate.open_vci(in_vci, window=self.credit_window_cells)
-            self.switches[d_sw].on_cell_forwarded(
-                d_trunk, out_vci, lambda: gate.refill(in_vci))
+            if gate is not None:
+                gate.open_vci(in_vci, window=self.credit_window_cells)
+            if self.owns_host(dst):
+                self.switches[d_sw].on_cell_forwarded(
+                    d_trunk, out_vci, self._credit_return_fn(src, in_vci))
         else:
-            gate.open_vci(in_vci, window=None)
+            if gate is not None:
+                gate.open_vci(in_vci, window=None)
             self._efci_sources[out_vci] = (src, in_vci)
+
+    def _credit_return_fn(self, src: int, in_vci: int):
+        def credit_return() -> None:
+            key = self._chan_key("credit", in_vci)
+            self._emit_boundary(self.sim.now + self.prop_delay_us, key,
+                                ("refill", src, in_vci))
+
+        return credit_return
 
     def open_raw_flow(self, src: int, dst: int, echo_dst: bool = False,
                       **kw):
-        """Raw-ATM test programs on both ends of a new flow."""
+        """Raw-ATM test programs on both ends of a new flow.
+
+        On a shard, the endpoint apps come back as None for hosts the
+        shard does not own (the flow's routes are still installed).
+        """
         flow = self.open_flow(src, dst)
-        app_s, _ = self.hosts[src].open_raw_path(vci=flow.src_vci, **kw)
-        app_d, _ = self.hosts[dst].open_raw_path(vci=flow.dst_vci,
-                                                 echo=echo_dst, **kw)
+        app_s = app_d = None
+        if self.hosts[src] is not None:
+            app_s, _ = self.hosts[src].open_raw_path(vci=flow.src_vci,
+                                                     **kw)
+        if self.hosts[dst] is not None:
+            app_d, _ = self.hosts[dst].open_raw_path(vci=flow.dst_vci,
+                                                     echo=echo_dst, **kw)
         return app_s, app_d, flow
 
     def open_udp_flow(self, src: int, dst: int,
@@ -375,10 +533,13 @@ class Fabric:
             src_port = 5000 + 2 * (len(self.flows) - 1)
         if dst_port is None:
             dst_port = src_port + 1
-        app_s, _ = self.hosts[src].open_udp_path(
-            src_port, dst_port, vci=flow.src_vci, **kw)
-        app_d, _ = self.hosts[dst].open_udp_path(
-            dst_port, src_port, vci=flow.dst_vci, echo=echo_dst, **kw)
+        app_s = app_d = None
+        if self.hosts[src] is not None:
+            app_s, _ = self.hosts[src].open_udp_path(
+                src_port, dst_port, vci=flow.src_vci, **kw)
+        if self.hosts[dst] is not None:
+            app_d, _ = self.hosts[dst].open_udp_path(
+                dst_port, src_port, vci=flow.dst_vci, echo=echo_dst, **kw)
         return app_s, app_d, flow
 
     # -- accounting -----------------------------------------------------------------
@@ -421,6 +582,7 @@ class Fabric:
         stats["hosts"] = [
             {"name": host.name, **gate.stats()}
             for host, gate in zip(self.hosts, self.gates)
+            if host is not None
         ]
         return stats
 
@@ -435,7 +597,8 @@ class Fabric:
             # No switch: in flight is everything not yet delivered.
             return (sum(link.cells_sent for link in self.uplinks)
                     - self.cells_delivered())
-        return in_flight + sum(sw.queued_cells() for sw in self.switches)
+        return (in_flight + self._isw_in_flight
+                + sum(sw.queued_cells() for sw in self.switches))
 
     def conservation(self) -> dict:
         """The cell-conservation identity:

@@ -1,0 +1,322 @@
+"""Sharded cluster runs: the fabric partitioned across K simulators.
+
+A :class:`ShardFabric` is a :class:`~repro.cluster.fabric.Fabric` that
+instantiates only the hosts ``i`` with ``i % K == shard_index`` (plus
+the switch output trunks that serve them) while walking the *same*
+construction sequence as every other shard -- VCI allocation, trunk
+numbering, and route tables stay fabric-global, so any shard can look
+up where a cell is headed.  Every switch has one replica per shard:
+the replica owns real ports only for its shard's trunks and knows the
+rest as remote trunks.
+
+Cross-shard interactions already travel the base fabric's *boundary
+channels* (uplink arrival, inter-switch hop, credit return, EFCI
+relay), each with ``prop_delay_us`` of latency and a content-based
+ordering key.  Here those emissions are routed into per-shard
+mailboxes and exchanged by the conservative window engine of
+:mod:`repro.sim.parallel`; the propagation delay is the lookahead.
+Because the ordering keys decide every cross-shard event's queue
+position identically in both modes, a sharded run is **bit-identical**
+to the single-process run -- the determinism tests compare report
+JSON byte for byte.
+
+Conservation counters are only globally meaningful at a window
+horizon (a barrier): mid-window, a cell can sit in a mailbox, counted
+as emitted by one shard but not yet absorbed by another.  The merge
+in :func:`merge_partials` therefore runs at global quiescence, where
+every mailbox has drained -- the "quiescent at horizon" guarantee.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import asdict
+
+from ..sim import SimulationError
+from ..sim.parallel import BACKENDS, ParallelRunResult, run_shards
+from .fabric import Fabric
+from .metrics import ClusterReport
+from .workloads import (
+    ClientResult, WorkloadResult, WorkloadSpec,
+    compute_open_loop_latencies, setup_workload,
+)
+
+
+class ShardFabric(Fabric):
+    """One shard's slice of a fabric (hosts ``i % K == shard_index``)."""
+
+    def __init__(self, shard_index: int, n_shards: int, **fabric_kwargs):
+        if not (0 <= shard_index < n_shards):
+            raise SimulationError(
+                f"shard index {shard_index} outside 0..{n_shards - 1}")
+        # Validate before Fabric wires anything: the direct topology
+        # would trip over the missing hosts mid-construction.
+        if fabric_kwargs.get("topology", "switched") != "switched":
+            raise SimulationError(
+                "sharding needs the switched topology; the direct "
+                "two-host wiring has no trunk boundary to cut at")
+        if fabric_kwargs.get("prop_delay_us", 2.0) <= 0.0:
+            raise SimulationError(
+                "sharding needs prop_delay_us > 0: the propagation "
+                "delay is the conservative lookahead")
+        self.shard_index = shard_index
+        self.n_shards = n_shards
+        self._outbox: list = []
+        super().__init__(**fabric_kwargs)
+
+    # -- ownership ---------------------------------------------------------------
+
+    def owns_host(self, index: int) -> bool:
+        return index % self.n_shards == self.shard_index
+
+    def _owns_interswitch(self, s: int, t: int) -> bool:
+        # The receiving switch's shard owns the trunk's ports, so the
+        # drain-side delay and the delivery land in one simulator.
+        return t % self.n_shards == self.shard_index
+
+    def _make_host(self, index, spec, name, fidelity, host_kw):
+        if not self.owns_host(index):
+            return None
+        return super()._make_host(index, spec, name, fidelity, host_kw)
+
+    # -- boundary routing ---------------------------------------------------------
+
+    def _dest_shard(self, msg: tuple) -> int:
+        kind = msg[0]
+        if kind == "in":
+            _, switch_index, _host_index, cell = msg
+            route = self.switches[switch_index].route_for(cell.vci)
+            if route is None:
+                # Unroutable: count the drop on this shard's replica;
+                # the per-switch totals still sum correctly.
+                return self.shard_index
+            trunk_id, _ = route
+            _kind, idx = self._trunk_dest[(switch_index, trunk_id)]
+            return idx % self.n_shards
+        # refill/pause land at the source host's gate.
+        return msg[1] % self.n_shards
+
+    def _emit_boundary(self, when: float, key: tuple,
+                       msg: tuple) -> None:
+        dest = self._dest_shard(msg)
+        if dest == self.shard_index:
+            super()._emit_boundary(when, key, msg)
+        else:
+            self._outbox.append((dest, when, key, msg))
+
+    def drain_outbox(self) -> list:
+        out, self._outbox = self._outbox, []
+        return out
+
+    def deliver(self, batch: list) -> None:
+        for when, key, msg in batch:
+            self.sim.call_at(when, self._applier(msg), key=key)
+
+    def _applier(self, msg: tuple):
+        return lambda: self._apply_boundary(msg)
+
+
+class _ShardProgram:
+    """What the window engine drives: one shard's fabric + clients."""
+
+    def __init__(self, fabric: ShardFabric, clients: list,
+                 finishers: list):
+        self.fabric = fabric
+        self.sim = fabric.sim
+        self.clients = clients
+        self.finishers = finishers
+
+    def deliver(self, batch: list) -> None:
+        self.fabric.deliver(batch)
+
+    def drain_outbox(self) -> list:
+        return self.fabric.drain_outbox()
+
+    def collect(self, t_end: float) -> dict:
+        """The shard's picklable contribution to the merged report.
+        The engine has already advanced the clock to ``t_end``, so
+        host snapshots read the fabric-wide end time."""
+        fabric = self.fabric
+        for finish in self.finishers:
+            finish()
+        switches = []
+        for sw in fabric.switches:
+            switches.append({
+                "name": sw.name,
+                "cells_switched": sw.cells_switched,
+                "cells_dropped": sw.cells_dropped,
+                "dropped_no_route": sw.dropped_no_route,
+                "dropped_queue_full": sw.dropped_queue_full,
+                "cross_cells_injected": sw.cross_cells_injected,
+                "cells_queued": sw.queued_cells(),
+                "ports": [asdict(p) for p in sw.port_stats()],
+            })
+        gates = {}
+        for i, (host, gate) in enumerate(zip(fabric.hosts,
+                                             fabric.gates)):
+            if host is not None and gate is not None:
+                gates[i] = {"name": host.name, **gate.stats()}
+        return {
+            "shard": fabric.shard_index,
+            "events_processed": fabric.sim.events_processed,
+            "hosts": {i: asdict(host.stats())
+                      for i, host in enumerate(fabric.hosts)
+                      if host is not None},
+            "uplink_cells_sent": sum(link.cells_sent
+                                     for link in fabric.uplinks),
+            "uplink_arrived": sum(fabric._uplink_arrived),
+            "delivered": sum(fabric._delivered),
+            "isw_in_flight": fabric._isw_in_flight,
+            "switches": switches,
+            "gates": gates,
+            "clients": [asdict(c) for c in self.clients],
+        }
+
+
+def _build_shard(index: int, n_shards: int, fabric_kwargs: dict,
+                 spec: WorkloadSpec) -> _ShardProgram:
+    """Worker-side constructor (module-level so it crosses into a
+    child process)."""
+    fabric = ShardFabric(index, n_shards, **fabric_kwargs)
+    clients, finishers = setup_workload(fabric, spec)
+    return _ShardProgram(fabric, clients, finishers)
+
+
+# ---------------------------------------------------------------------------
+# Merging
+# ---------------------------------------------------------------------------
+
+def _merge_clients(spec: WorkloadSpec, partials: list,
+                   n_shards: int) -> list:
+    """Reunite each flow's two halves from their owner shards."""
+    n_clients = len(partials[0]["clients"])
+    merged = []
+    for index in range(n_clients):
+        src_half = None
+        dst_half = None
+        for partial in partials:
+            fields = partial["clients"][index]
+            if fields["src"] % n_shards == partial["shard"]:
+                src_half = fields
+            if fields["dst"] % n_shards == partial["shard"]:
+                dst_half = fields
+        client = ClientResult(**src_half)
+        if spec.kind == "open" and dst_half is not None:
+            client.messages_received = dst_half["messages_received"]
+            client.bytes_received = dst_half["bytes_received"]
+            client.recv_times_us = dst_half["recv_times_us"]
+            compute_open_loop_latencies(client)
+        merged.append(client)
+    return merged
+
+
+def merge_partials(fabric_kwargs: dict, spec: WorkloadSpec,
+                   partials: list, t_end: float) -> ClusterReport:
+    """Fold per-shard partials into one :class:`ClusterReport` equal,
+    field for field, to what a single-process run would report."""
+    partials = sorted(partials, key=lambda p: p["shard"])
+    n_shards = len(partials)
+
+    n_switches = len(partials[0]["switches"])
+    switches = []
+    for k in range(n_switches):
+        replicas = [p["switches"][k] for p in partials]
+        ports = [port for replica in replicas
+                 for port in replica["ports"]]
+        ports.sort(key=lambda p: (p["trunk_id"], p["lane"]))
+        switches.append({
+            "name": replicas[0]["name"],
+            "cells_switched": sum(r["cells_switched"]
+                                  for r in replicas),
+            "cells_dropped": sum(r["cells_dropped"] for r in replicas),
+            "dropped_no_route": sum(r["dropped_no_route"]
+                                    for r in replicas),
+            "dropped_queue_full": sum(r["dropped_queue_full"]
+                                      for r in replicas),
+            "cross_cells_injected": sum(r["cross_cells_injected"]
+                                        for r in replicas),
+            "cells_queued": sum(r["cells_queued"] for r in replicas),
+            "ports": ports,
+        })
+
+    injected = (sum(p["uplink_cells_sent"] for p in partials)
+                + sum(sw["cross_cells_injected"] for sw in switches))
+    delivered = sum(p["delivered"] for p in partials)
+    queued = (sum(p["uplink_cells_sent"] for p in partials)
+              - sum(p["uplink_arrived"] for p in partials)
+              + sum(p["isw_in_flight"] for p in partials)
+              + sum(sw["cells_queued"] for sw in switches))
+    dropped = sum(sw["cells_dropped"] for sw in switches)
+    drops = {
+        "no_route": sum(sw["dropped_no_route"] for sw in switches),
+        "queue_full": sum(sw["dropped_queue_full"] for sw in switches),
+    }
+
+    host_snaps: dict[int, dict] = {}
+    for partial in partials:
+        host_snaps.update(partial["hosts"])
+    n_hosts = len(host_snaps)
+
+    backpressure = None
+    mode = fabric_kwargs.get("backpressure", "none")
+    if mode != "none":
+        backpressure = {"mode": mode}
+        if mode == "credit":
+            backpressure["credit_window_cells"] = fabric_kwargs.get(
+                "credit_window_cells", 64)
+        else:
+            backpressure["efci_pause_us"] = fabric_kwargs.get(
+                "efci_pause_us", 60.0)
+        gate_snaps: dict[int, dict] = {}
+        for partial in partials:
+            gate_snaps.update(partial["gates"])
+        backpressure["hosts"] = [gate_snaps[i] for i in range(n_hosts)]
+
+    clients = _merge_clients(spec, partials, n_shards)
+    workload = WorkloadResult(spec=spec, clients=clients,
+                              elapsed_us=t_end)
+
+    return ClusterReport(
+        topology="switched",
+        n_hosts=n_hosts,
+        n_switches=n_switches,
+        sim_time_us=t_end,
+        conservation={
+            "injected": injected,
+            "delivered": delivered,
+            "queued": queued,
+            "dropped": dropped,
+            "holds": injected == delivered + queued + dropped,
+        },
+        drops=drops,
+        hosts=[host_snaps[i] for i in range(n_hosts)],
+        switches=switches,
+        workload=workload.summary(),
+        backpressure=backpressure,
+    )
+
+
+def run_cluster_sharded(
+        fabric_kwargs: dict, spec: WorkloadSpec, n_shards: int,
+        backend: str = "proc",
+) -> tuple[ClusterReport, ParallelRunResult]:
+    """Run one cluster workload split across ``n_shards`` simulators.
+
+    ``fabric_kwargs`` are exactly the keyword arguments a plain
+    :class:`Fabric` would take (they must be picklable for the proc
+    backend).  Returns the merged report plus the engine's run stats
+    (windows, total events) for benchmarking.
+    """
+    if backend not in BACKENDS:
+        raise SimulationError(
+            f"unknown shard backend {backend!r}; choose from {BACKENDS}")
+    window_us = fabric_kwargs.get("prop_delay_us", 2.0)
+    factory = functools.partial(_build_shard, n_shards=n_shards,
+                                fabric_kwargs=fabric_kwargs, spec=spec)
+    run = run_shards(factory, n_shards, window_us, backend=backend)
+    report = merge_partials(fabric_kwargs, spec, run.partials,
+                            run.t_end)
+    return report, run
+
+
+__all__ = ["ShardFabric", "run_cluster_sharded", "merge_partials"]

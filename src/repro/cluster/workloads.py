@@ -84,7 +84,14 @@ class WorkloadSpec:
 
 @dataclass
 class ClientResult:
-    """What one client saw."""
+    """What one client saw.
+
+    ``send_times_us`` / ``recv_times_us`` are the raw per-message
+    timestamps (send at the source, reception at the destination).
+    They exist so a sharded run -- where the two ends of an open-loop
+    flow live in different processes -- can merge the halves and
+    recompute ``latencies_us`` with bit-identical arithmetic.
+    """
 
     name: str
     src: int
@@ -94,6 +101,8 @@ class ClientResult:
     bytes_sent: int = 0
     bytes_received: int = 0
     latencies_us: list = field(default_factory=list, repr=False)
+    send_times_us: list = field(default_factory=list, repr=False)
+    recv_times_us: list = field(default_factory=list, repr=False)
 
 
 @dataclass
@@ -180,9 +189,15 @@ def _rpc_client(sim, client: RpcClient, spec: WorkloadSpec,
 # The engine
 # ---------------------------------------------------------------------------
 
-def run_workload(fabric: Fabric, spec: WorkloadSpec) -> WorkloadResult:
-    """Set up every client of ``spec`` on ``fabric``, run the
-    simulation to quiescence, and aggregate the results."""
+def setup_workload(fabric: Fabric,
+                   spec: WorkloadSpec) -> tuple[list, list]:
+    """Install every client of ``spec`` on ``fabric``.
+
+    Returns ``(clients, finishers)``.  The flow-open loop runs in full
+    global order on every caller -- a shard instantiates apps and
+    client processes only for the hosts it owns, but still walks every
+    flow so VCI allocation and route tables agree fabric-wide.
+    """
     if spec.kind not in ("open", "rpc"):
         raise SimulationError(f"unknown workload kind {spec.kind!r}")
     flows = pattern_flows(spec.pattern, len(fabric.hosts),
@@ -200,7 +215,13 @@ def run_workload(fabric: Fabric, spec: WorkloadSpec) -> WorkloadResult:
         else:
             finishers.append(_setup_rpc(fabric, spec, rng, result,
                                         src, dst))
+    return clients, finishers
 
+
+def run_workload(fabric: Fabric, spec: WorkloadSpec) -> WorkloadResult:
+    """Set up every client of ``spec`` on ``fabric``, run the
+    simulation to quiescence, and aggregate the results."""
+    clients, finishers = setup_workload(fabric, spec)
     start = fabric.sim.now
     fabric.sim.run()
     for finish in finishers:
@@ -218,41 +239,58 @@ def _setup_open_loop(fabric: Fabric, spec: WorkloadSpec,
         app_s, app_d, _ = fabric.open_raw_flow(src, dst)
     else:
         raise SimulationError(f"unknown transport {spec.transport!r}")
-    send_times: list[float] = []
-    spawn(fabric.sim,
-          _open_loop_client(fabric.sim, app_s, spec, rng, result,
-                            send_times),
-          f"{result.name}-{fabric.hosts[src].name}")
+    if app_s is not None:
+        spawn(fabric.sim,
+              _open_loop_client(fabric.sim, app_s, spec, rng, result,
+                                result.send_times_us),
+              f"{result.name}-{fabric.hosts[src].name}")
 
     def finish() -> None:
-        result.messages_received = len(app_d.receptions)
-        result.bytes_received = app_d.bytes_received
-        # kth send matches kth reception: one VCI, FIFO end to end.
-        for k, reception in enumerate(app_d.receptions):
-            if k < len(send_times):
-                result.latencies_us.append(reception.time - send_times[k])
+        if app_d is not None:
+            result.messages_received = len(app_d.receptions)
+            result.bytes_received = app_d.bytes_received
+            result.recv_times_us = [reception.time
+                                    for reception in app_d.receptions]
+        compute_open_loop_latencies(result)
 
     return finish
+
+
+def compute_open_loop_latencies(result: ClientResult) -> None:
+    """Rebuild ``latencies_us`` from the raw timestamp halves.
+
+    kth send matches kth reception: one VCI, FIFO end to end.  Both
+    the single-process path and the sharded merge call this, so the
+    float arithmetic is identical wherever the halves were recorded.
+    """
+    del result.latencies_us[:]
+    for k, recv_time in enumerate(result.recv_times_us):
+        if k < len(result.send_times_us):
+            result.latencies_us.append(recv_time
+                                       - result.send_times_us[k])
 
 
 def _setup_rpc(fabric: Fabric, spec: WorkloadSpec, rng: random.Random,
                result: ClientResult, src: int, dst: int):
     flow = fabric.open_flow(src, dst)
     host_s, host_d = fabric.hosts[src], fabric.hosts[dst]
-    drv_s = host_s.driver.open_path(flow.src_vci)
-    drv_d = host_d.driver.open_path(flow.dst_vci)
-
     block = bytes([0x40 + (flow.dst_vci & 0x3F)]) * spec.rpc_block_bytes
-    server = RpcServer(RpcProtocol(host_d.cpu, fabric.sim), drv_d)
-    server.register(PROC_READ, lambda request: block,
-                    service_us=spec.rpc_service_us)
-    server.register(PROC_WRITE, lambda request: _WRITE_STATUS,
-                    service_us=spec.rpc_service_us)
 
-    client = RpcClient(RpcProtocol(host_s.cpu, fabric.sim), drv_s)
-    spawn(fabric.sim,
-          _rpc_client(fabric.sim, client, spec, rng, result, block),
-          f"{result.name}-{host_s.name}")
+    if host_s is not None:
+        drv_s = host_s.driver.open_path(flow.src_vci)
+    if host_d is not None:
+        drv_d = host_d.driver.open_path(flow.dst_vci)
+        server = RpcServer(RpcProtocol(host_d.cpu, fabric.sim), drv_d)
+        server.register(PROC_READ, lambda request: block,
+                        service_us=spec.rpc_service_us)
+        server.register(PROC_WRITE, lambda request: _WRITE_STATUS,
+                        service_us=spec.rpc_service_us)
+
+    if host_s is not None:
+        client = RpcClient(RpcProtocol(host_s.cpu, fabric.sim), drv_s)
+        spawn(fabric.sim,
+              _rpc_client(fabric.sim, client, spec, rng, result, block),
+              f"{result.name}-{host_s.name}")
 
     def finish() -> None:
         pass
@@ -291,6 +329,7 @@ def sweep_offered_load(fabric_factory: Callable[[], Fabric],
 __all__ = [
     "PATTERNS", "PROC_READ", "PROC_WRITE",
     "pattern_flows", "client_rng",
-    "WorkloadSpec", "ClientResult", "WorkloadResult", "run_workload",
+    "WorkloadSpec", "ClientResult", "WorkloadResult",
+    "setup_workload", "run_workload", "compute_open_loop_latencies",
     "sweep_offered_load",
 ]

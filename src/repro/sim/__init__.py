@@ -1,7 +1,8 @@
 """Discrete-event simulation kernel used by every model in the library."""
 
-from .core import SimulationError, Simulator, Timer
+from .core import NO_KEY, SimulationError, Simulator, Timer
 from .fidelity import Fidelity
+from .parallel import BACKENDS, ParallelRunResult, run_shards
 from .process import (
     Delay, Interrupted, Latch, Process, Signal, all_of, spawn,
 )
@@ -12,7 +13,8 @@ from .tracing import (
 )
 
 __all__ = [
-    "Simulator", "SimulationError", "Timer",
+    "Simulator", "SimulationError", "Timer", "NO_KEY",
+    "run_shards", "ParallelRunResult", "BACKENDS",
     "Delay", "Signal", "Latch", "Process", "Interrupted", "spawn", "all_of",
     "Resource", "Grant", "Store",
     "Counter", "Series", "Throughput", "mbps_from_bytes",

@@ -10,82 +10,122 @@ Time is measured in **microseconds** throughout the library.  The paper
 reasons about costs in microseconds and 40 ns bus cycles, so a float
 microsecond clock gives comfortable resolution (a 25 MHz cycle is
 0.04 us) without the bookkeeping of integer picoseconds.
+
+The queue is a plain heap of ``(time, key, seq)`` tuples with the
+callbacks held in a side table keyed by ``seq``:
+
+* ``key`` is an *ordering key* that breaks same-time ties **by
+  content** instead of by insertion order.  Ordinary events use the
+  empty tuple and therefore order by ``seq`` (schedule order), exactly
+  as before.  Events that cross a boundary between independently
+  running simulators -- cells arriving at a switch, returning credits
+  -- carry a ``(channel..., channel_seq)`` key, so their order at a
+  merge point is the same whether they were scheduled locally or
+  delivered from another shard's mailbox.  This is what makes the
+  sharded cluster runs of :mod:`repro.sim.parallel` bit-identical to
+  single-process runs.
+* Cancellation removes the side-table entry in O(1); stale heap tuples
+  are skipped lazily on pop, and the heap is compacted whenever more
+  than half of it is dead, so cancel-heavy models no longer accumulate
+  garbage.  :attr:`Simulator.pending` is the side table's length --
+  O(1), and it counts *live* entries only.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Callable, Optional
+
+# Ordinary events carry the empty ordering key: at equal times they
+# sort before any keyed (boundary) event and among themselves by
+# schedule order.
+NO_KEY: tuple = ()
+
+# Compaction policy: rebuild the heap once it holds this many entries
+# and more than half of them are dead (cancelled or already popped
+# from the side table).
+_COMPACT_MIN = 64
 
 
 class SimulationError(RuntimeError):
     """Raised for misuse of the simulation engine."""
 
 
-@dataclass(order=True)
-class _Entry:
-    """A scheduled callback, ordered by (time, sequence)."""
-
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-
-
 class Timer:
     """Handle for a scheduled callback; supports cancellation."""
 
-    __slots__ = ("_entry",)
+    __slots__ = ("_sim", "_seq", "_time", "_cancelled")
 
-    def __init__(self, entry: _Entry):
-        self._entry = entry
+    def __init__(self, sim: "Simulator", seq: int, time: float):
+        self._sim = sim
+        self._seq = seq
+        self._time = time
+        self._cancelled = False
 
     @property
     def time(self) -> float:
         """Absolute simulation time at which the callback fires."""
-        return self._entry.time
+        return self._time
 
     @property
     def cancelled(self) -> bool:
-        return self._entry.cancelled
+        return self._cancelled
 
     def cancel(self) -> None:
         """Prevent the callback from running (idempotent)."""
-        self._entry.cancelled = True
+        if self._cancelled:
+            return
+        self._cancelled = True
+        sim = self._sim
+        sim._live.pop(self._seq, None)
+        if (len(sim._heap) >= _COMPACT_MIN
+                and len(sim._live) * 2 < len(sim._heap)):
+            sim._compact()
 
 
 class Simulator:
     """The event loop.
 
     A single :class:`Simulator` instance is shared by every component of
-    one experiment.  Components schedule work with :meth:`call_at` /
+    one experiment (or, in a sharded run, by every component of one
+    *shard*).  Components schedule work with :meth:`call_at` /
     :meth:`call_after` and the experiment driver advances time with
-    :meth:`run` or :meth:`run_until`.
+    :meth:`run`, :meth:`run_until`, or -- for conservatively
+    synchronized shards -- :meth:`run_window`.
     """
 
     def __init__(self) -> None:
-        self._queue: list[_Entry] = []
+        self._heap: list[tuple] = []            # (time, key, seq)
+        self._live: dict[int, tuple] = {}       # seq -> (time, key, cb)
         self._seq = itertools.count()
         self._now = 0.0
         self._running = False
         self.events_processed = 0
+        # Timestamp of the last event actually executed -- unlike
+        # `now`, never advanced by run_until/advance_to clamping.
+        self.last_event_time = 0.0
 
     @property
     def now(self) -> float:
         """Current simulation time in microseconds."""
         return self._now
 
-    def call_at(self, time: float, callback: Callable[[], None]) -> Timer:
-        """Schedule ``callback`` at absolute simulation ``time``."""
+    def call_at(self, time: float, callback: Callable[[], None],
+                key: tuple = NO_KEY) -> Timer:
+        """Schedule ``callback`` at absolute simulation ``time``.
+
+        ``key`` is the same-time ordering key (see module docstring);
+        leave it empty for ordinary events.
+        """
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule in the past ({time} < {self._now})"
             )
-        entry = _Entry(time, next(self._seq), callback)
-        heapq.heappush(self._queue, entry)
-        return Timer(entry)
+        seq = next(self._seq)
+        self._live[seq] = (time, key, callback)
+        heapq.heappush(self._heap, (time, key, seq))
+        return Timer(self, seq, time)
 
     def call_after(self, delay: float, callback: Callable[[], None]) -> Timer:
         """Schedule ``callback`` after ``delay`` microseconds."""
@@ -99,26 +139,36 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of queued (possibly cancelled) entries."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of live (non-cancelled) queued entries -- O(1)."""
+        return len(self._live)
+
+    def _compact(self) -> None:
+        """Drop dead tuples by rebuilding the heap from the live set."""
+        self._heap = [(time, key, seq)
+                      for seq, (time, key, _cb) in self._live.items()]
+        heapq.heapify(self._heap)
 
     def peek(self) -> Optional[float]:
         """Time of the next live event, or ``None`` if the queue is empty."""
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
-        if not self._queue:
+        heap, live = self._heap, self._live
+        while heap and heap[0][2] not in live:
+            heapq.heappop(heap)
+        if not heap:
             return None
-        return self._queue[0].time
+        return heap[0][0]
 
     def step(self) -> bool:
         """Run the single next event.  Returns False when queue is empty."""
-        while self._queue:
-            entry = heapq.heappop(self._queue)
-            if entry.cancelled:
-                continue
-            self._now = entry.time
+        heap, live = self._heap, self._live
+        while heap:
+            time, _key, seq = heapq.heappop(heap)
+            entry = live.pop(seq, None)
+            if entry is None:
+                continue                      # cancelled
+            self._now = time
+            self.last_event_time = time
             self.events_processed += 1
-            entry.callback()
+            entry[2]()
             return True
         return False
 
@@ -151,6 +201,48 @@ class Simulator:
         finally:
             self._running = False
 
+    def run_window(self, horizon: float) -> int:
+        """Run events with timestamps strictly below ``horizon``.
+
+        This is the conservative-synchronization primitive: a shard
+        runs one window, then exchanges boundary messages with its
+        peers before the horizon advances.  Unlike :meth:`run_until`
+        the clock is *not* clamped to the horizon -- ``now`` stays at
+        the last executed event, so an idle shard's clock (and its
+        hosts' statistics) match what a single-process run would show.
+        Returns the number of events executed.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running")
+        self._running = True
+        executed = 0
+        try:
+            while True:
+                nxt = self.peek()
+                if nxt is None or nxt >= horizon:
+                    break
+                self.step()
+                executed += 1
+        finally:
+            self._running = False
+        return executed
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock forward to ``time`` without running events.
+
+        Used after a sharded run terminates: every shard's clock is
+        fast-forwarded to the fabric-wide last event time so snapshots
+        (host statistics, reports) read one consistent instant.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running")
+        if time > self._now:
+            nxt = self.peek()
+            if nxt is not None and nxt < time:
+                raise SimulationError(
+                    f"advance_to({time}) would skip an event at {nxt}")
+            self._now = time
+
     def run_while(self, predicate: Callable[[], bool],
                   max_events: int = 50_000_000) -> None:
         """Run while ``predicate()`` is true and events remain."""
@@ -172,4 +264,4 @@ class Simulator:
             self._running = False
 
 
-__all__ = ["Simulator", "SimulationError", "Timer"]
+__all__ = ["Simulator", "SimulationError", "Timer", "NO_KEY"]

@@ -1,0 +1,314 @@
+"""Conservative parallel discrete-event simulation.
+
+K *shard programs*, each owning a private :class:`~repro.sim.core.
+Simulator`, advance in lockstep time windows.  The engine assumes the
+model guarantees a **lookahead** of ``window_us``: any message a shard
+emits for another shard is stamped at least ``window_us`` after the
+emitting event.  Then a window of exactly that width is safe -- every
+shard runs freely up to the horizon, all emitted messages are
+exchanged at the barrier, and no shard ever receives a message
+stamped in its past:
+
+    horizon = T_min + W   where T_min = earliest pending event or
+                                        undelivered message, fabric-wide
+    a message emitted by an event at t (>= T_min) is stamped
+    t + W >= T_min + W = horizon,
+
+so delivery at the barrier always lands at or beyond the next
+window's start.  For the cluster fabric the lookahead is the trunk
+propagation delay -- hosts only interact through links that are at
+least that long (see DESIGN.md, "Parallel simulation").
+
+A shard program is anything with::
+
+    sim            -- its Simulator
+    deliver(batch) -- schedule [(when, key, msg), ...] from peers
+    drain_outbox() -- return and clear [(dest, when, key, msg), ...]
+    collect(t_end) -- picklable result after the clock reaches t_end
+
+Three backends execute the shards: ``proc`` (one OS process per
+shard, the fast path), ``thread`` (one thread per shard -- no
+parallelism under the GIL, but real concurrency bugs still surface),
+and ``inline`` (a sequential loop over the shards in the calling
+thread, the debugging backend).  All three run the identical
+coordinator loop, so they produce identical results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from .core import SimulationError
+
+BACKENDS = ("proc", "thread", "inline")
+
+
+@dataclass
+class ParallelRunResult:
+    """What a sharded run produced."""
+
+    t_end: float                # fabric-wide last event time
+    partials: list              # one collect() result per shard
+    windows: int                # synchronization barriers executed
+    events_processed: int       # summed over shards
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+def _serve(factory: Callable, index: int, recv: Callable,
+           send: Callable) -> None:
+    """Run one shard's command loop (in a thread or child process)."""
+    try:
+        program = factory(index)
+        send(("ready", program.sim.peek()))
+        while True:
+            cmd = recv()
+            op = cmd[0]
+            if op == "window":
+                _, horizon, inbox = cmd
+                if inbox:
+                    program.deliver(inbox)
+                program.sim.run_window(horizon)
+                send(("report", program.sim.peek(),
+                      program.drain_outbox(),
+                      program.sim.last_event_time,
+                      program.sim.events_processed))
+            elif op == "collect":
+                program.sim.advance_to(cmd[1])
+                send(("partial", program.collect(cmd[1])))
+            elif op == "stop":
+                return
+            else:
+                raise SimulationError(f"unknown shard command {op!r}")
+    except Exception:  # noqa: BLE001 - relayed to the coordinator
+        import traceback
+        try:
+            send(("error", index, traceback.format_exc()))
+        except Exception:
+            pass
+
+
+class _Channel:
+    """Coordinator's handle on one worker: send a command, await a
+    reply.  Subclasses bind the transport."""
+
+    def send(self, cmd: tuple) -> None:
+        raise NotImplementedError
+
+    def recv(self) -> tuple:
+        reply = self._recv()
+        if reply[0] == "error":
+            raise SimulationError(
+                f"shard {reply[1]} failed:\n{reply[2]}")
+        return reply
+
+    def _recv(self) -> tuple:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+
+class _InlineChannel(_Channel):
+    """The shard runs synchronously inside send(); recv() returns the
+    stored reply.  No parallelism -- this is the debugging backend."""
+
+    def __init__(self, factory: Callable, index: int):
+        self._program = factory(index)
+        self._reply: Optional[tuple] = ("ready", self._program.sim.peek())
+
+    def send(self, cmd: tuple) -> None:
+        program = self._program
+        op = cmd[0]
+        if op == "window":
+            _, horizon, inbox = cmd
+            if inbox:
+                program.deliver(inbox)
+            program.sim.run_window(horizon)
+            self._reply = ("report", program.sim.peek(),
+                           program.drain_outbox(),
+                           program.sim.last_event_time,
+                           program.sim.events_processed)
+        elif op == "collect":
+            program.sim.advance_to(cmd[1])
+            self._reply = ("partial", program.collect(cmd[1]))
+        elif op == "stop":
+            self._reply = None
+        else:
+            raise SimulationError(f"unknown shard command {op!r}")
+
+    def _recv(self) -> tuple:
+        return self._reply
+
+
+class _ThreadChannel(_Channel):
+    def __init__(self, factory: Callable, index: int):
+        import queue
+        import threading
+        self._to_worker: "queue.Queue" = queue.Queue()
+        self._from_worker: "queue.Queue" = queue.Queue()
+        self._thread = threading.Thread(
+            target=_serve,
+            args=(factory, index, self._to_worker.get,
+                  self._from_worker.put),
+            name=f"shard-{index}", daemon=True)
+        self._thread.start()
+
+    def send(self, cmd: tuple) -> None:
+        self._to_worker.put(cmd)
+
+    def _recv(self) -> tuple:
+        return self._from_worker.get()
+
+    def close(self) -> None:
+        self._thread.join(timeout=10.0)
+
+
+class _ProcChannel(_Channel):
+    def __init__(self, ctx, factory: Callable, index: int):
+        parent, child = ctx.Pipe()
+        self._conn = parent
+        self._proc = ctx.Process(
+            target=_serve,
+            args=(factory, index, child.recv, child.send),
+            name=f"shard-{index}", daemon=True)
+        self._proc.start()
+        child.close()
+
+    def send(self, cmd: tuple) -> None:
+        self._conn.send(cmd)
+
+    def _recv(self) -> tuple:
+        return self._conn.recv()
+
+    def close(self) -> None:
+        self._conn.close()
+        self._proc.join(timeout=10.0)
+        if self._proc.is_alive():
+            self._proc.terminate()
+
+
+def _open_channels(factory: Callable, n_shards: int,
+                   backend: str) -> list:
+    if backend == "inline":
+        return [_InlineChannel(factory, i) for i in range(n_shards)]
+    if backend == "thread":
+        return [_ThreadChannel(factory, i) for i in range(n_shards)]
+    if backend == "proc":
+        import multiprocessing
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:          # platform without fork
+            ctx = multiprocessing.get_context()
+        return [_ProcChannel(ctx, factory, i) for i in range(n_shards)]
+    raise SimulationError(
+        f"unknown shard backend {backend!r}; choose from {BACKENDS}")
+
+
+# ---------------------------------------------------------------------------
+# Coordinator
+# ---------------------------------------------------------------------------
+
+def run_shards(factory: Callable, n_shards: int, window_us: float,
+               backend: str = "proc") -> ParallelRunResult:
+    """Drive ``n_shards`` shard programs to global quiescence.
+
+    ``factory(index)`` builds shard ``index``'s program; with the
+    ``proc`` backend it runs in the child, so it (and whatever it
+    closes over) must survive the journey into a worker process.
+    ``window_us`` is the model's lookahead -- for the cluster fabric,
+    the trunk propagation delay.
+    """
+    if window_us <= 0.0:
+        raise SimulationError(
+            f"window_us must be positive, got {window_us}")
+    if n_shards < 1:
+        raise SimulationError(f"need at least one shard, got {n_shards}")
+
+    channels = _open_channels(factory, n_shards, backend)
+    try:
+        peeks: list[Optional[float]] = []
+        for channel in channels:
+            reply = channel.recv()
+            peeks.append(reply[1])
+        inboxes: list[list] = [[] for _ in range(n_shards)]
+        lasts = [0.0] * n_shards
+        events = [0] * n_shards
+        windows = 0
+
+        while True:
+            # The frontier: every place a future cross-shard effect can
+            # originate -- a shard's next pending event, or an
+            # undelivered message.  A message can reach shard i either
+            # directly from a foreign frontier element (one hop, +W) or
+            # by a chain that starts at i's *own* frontier, crosses to
+            # a peer, and bounces back (two hops minimum, +2W) -- the
+            # credit-return loop is exactly that shape.  So
+            #
+            #     horizon_i = W + min(min_{j!=i} loc_min[j],
+            #                         loc_min[i] + W)
+            #
+            # Longer chains only add more +W hops, so the two terms
+            # dominate by induction.  A shard whose peers are all idle
+            # advances 2W per round instead of being stuck at the
+            # global-window W; idle shards skip the barrier entirely.
+            # Track the two smallest per-location minima to get
+            # min-over-others per shard in O(1).
+            loc_min = [float("inf")] * n_shards
+            for i, peek in enumerate(peeks):
+                if peek is not None:
+                    loc_min[i] = peek
+            for i, box in enumerate(inboxes):
+                for when, _key, _msg in box:
+                    if when < loc_min[i]:
+                        loc_min[i] = when
+            lo = lo2 = float("inf")
+            lo_at = -1
+            for i, value in enumerate(loc_min):
+                if value < lo:
+                    lo2, lo, lo_at = lo, value, i
+                elif value < lo2:
+                    lo2 = value
+            if lo == float("inf"):
+                break
+
+            active = []
+            for i, channel in enumerate(channels):
+                foreign = lo2 if lo_at == i else lo
+                own = loc_min[i] + window_us
+                horizon = (own if own < foreign else foreign) + window_us
+                runnable = peeks[i] is not None and peeks[i] < horizon
+                deliverable = any(when < horizon
+                                  for when, _k, _m in inboxes[i])
+                if not (runnable or deliverable):
+                    continue        # idle this window; keep its mailbox
+                active.append(i)
+                channel.send(("window", horizon, inboxes[i]))
+                inboxes[i] = []
+            for i in active:
+                _, peek, outbox, last, n_events = channels[i].recv()
+                peeks[i] = peek
+                lasts[i] = last
+                events[i] = n_events
+                for dest, when, key, msg in outbox:
+                    inboxes[dest].append((when, key, msg))
+            windows += 1
+
+        t_end = max(lasts)
+        for channel in channels:
+            channel.send(("collect", t_end))
+        partials = [channel.recv()[1] for channel in channels]
+        for channel in channels:
+            channel.send(("stop",))
+        return ParallelRunResult(t_end=t_end, partials=partials,
+                                 windows=windows,
+                                 events_processed=sum(events))
+    finally:
+        for channel in channels:
+            channel.close()
+
+
+__all__ = ["run_shards", "ParallelRunResult", "BACKENDS"]

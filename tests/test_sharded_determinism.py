@@ -1,0 +1,112 @@
+"""Sharded runs must be byte-identical to the single-process run.
+
+The contract under test: for any shard count, backend, workload
+pattern, and backpressure mode, ``run_cluster_sharded`` produces a
+:class:`ClusterReport` whose canonical JSON equals the plain
+``Fabric`` run's, byte for byte.  The comparison covers every counter
+in the report -- per-host stats, per-port switch stats, gate stalls,
+latency percentiles -- so any divergence in event ordering anywhere
+in the model shows up here.
+
+A sampled matrix keeps the runtime sane; the full sweep lives in
+``benchmarks/bench_cluster_scale.py``, which re-checks identity on
+every benchmark run.
+"""
+
+import pytest
+
+from repro.cluster import Fabric, WorkloadSpec, collect, run_workload
+from repro.cluster.sharded import ShardFabric, run_cluster_sharded
+from repro.hw.specs import DS5000_200
+from repro.sim import SimulationError
+
+
+def _kwargs(backpressure, n_hosts=4, n_switches=1, **extra):
+    return dict(machines=DS5000_200, n_hosts=n_hosts,
+                n_switches=n_switches, backpressure=backpressure,
+                credit_window_cells=64, drain_policy="rr", **extra)
+
+
+def _spec(pattern, kind="open"):
+    return WorkloadSpec(pattern=pattern, kind=kind, seed=1,
+                        message_bytes=2048, messages_per_client=2,
+                        requests_per_client=2)
+
+
+_BASELINES: dict = {}
+
+
+def _baseline_json(backpressure, pattern, kind="open",
+                   n_switches=1) -> str:
+    cache_key = (backpressure, pattern, kind, n_switches)
+    if cache_key not in _BASELINES:
+        fabric = Fabric(**_kwargs(backpressure, n_switches=n_switches))
+        workload = run_workload(fabric, _spec(pattern, kind))
+        _BASELINES[cache_key] = collect(fabric, workload).to_json()
+    return _BASELINES[cache_key]
+
+
+@pytest.mark.parametrize("backend", ("proc", "thread"))
+@pytest.mark.parametrize("n_shards", (2, 4))
+@pytest.mark.parametrize("pattern", ("incast", "pairs", "all2all"))
+@pytest.mark.parametrize("backpressure", ("credit", "efci"))
+def test_sharded_report_byte_identical(backpressure, pattern, n_shards,
+                                       backend):
+    report, _run = run_cluster_sharded(
+        _kwargs(backpressure), _spec(pattern), n_shards,
+        backend=backend)
+    assert report.to_json() == _baseline_json(backpressure, pattern)
+
+
+def test_inline_backend_identical_without_backpressure():
+    report, _run = run_cluster_sharded(
+        _kwargs("none"), _spec("incast"), 2, backend="inline")
+    assert report.to_json() == _baseline_json("none", "incast")
+
+
+def test_rpc_workload_identical_across_two_switches():
+    report, _run = run_cluster_sharded(
+        _kwargs("credit", n_switches=2), _spec("pairs", kind="rpc"), 3,
+        backend="proc")
+    assert report.to_json() == _baseline_json(
+        "credit", "pairs", kind="rpc", n_switches=2)
+
+
+def test_merged_conservation_holds_and_fabric_is_quiescent():
+    # Conservation is only globally meaningful at a barrier; the merge
+    # runs at global quiescence, where every mailbox and inter-switch
+    # hop has drained, so queued must be exactly zero and the identity
+    # must close without slack.
+    report, run = run_cluster_sharded(
+        _kwargs("credit"), _spec("all2all"), 4, backend="thread")
+    conservation = report.conservation
+    assert conservation["holds"]
+    assert conservation["queued"] == 0
+    assert (conservation["injected"]
+            == conservation["delivered"] + conservation["dropped"])
+    assert run.t_end == report.sim_time_us
+    # Partial snapshots must agree that nothing is in flight.
+    for partial in run.partials:
+        assert partial["isw_in_flight"] == 0
+        assert partial["uplink_cells_sent"] >= 0
+
+
+def test_events_processed_matches_plain_run():
+    fabric = Fabric(**_kwargs("credit"))
+    run_workload(fabric, _spec("pairs"))
+    _report, run = run_cluster_sharded(
+        _kwargs("credit"), _spec("pairs"), 2, backend="inline")
+    assert run.events_processed == fabric.sim.events_processed
+
+
+def test_sharding_rejects_direct_topology_and_zero_lookahead():
+    with pytest.raises(SimulationError, match="switched"):
+        ShardFabric(0, 2, machines=[DS5000_200, DS5000_200],
+                    topology="direct")
+    with pytest.raises(SimulationError, match="lookahead"):
+        ShardFabric(0, 2, **_kwargs("none"), prop_delay_us=0.0)
+    with pytest.raises(SimulationError, match="shard index"):
+        ShardFabric(5, 2, **_kwargs("none"))
+    with pytest.raises(SimulationError, match="backend"):
+        run_cluster_sharded(_kwargs("none"), _spec("pairs"), 2,
+                            backend="mpi")

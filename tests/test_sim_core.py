@@ -132,3 +132,74 @@ def test_events_processed_counter():
         sim.call_after(1.0, lambda: None)
     sim.run()
     assert sim.events_processed == 7
+
+
+def test_pending_counts_only_live_timers():
+    sim = Simulator()
+    timers = [sim.call_after(float(i + 1), lambda: None)
+              for i in range(10)]
+    for timer in timers[:4]:
+        timer.cancel()
+    assert sim.pending == 6
+
+
+def test_cancel_heavy_heap_compacts():
+    # White-box: mass-cancelling must shrink the heap itself, not
+    # just mark entries dead, or cancel-heavy models go quadratic.
+    sim = Simulator()
+    timers = [sim.call_after(float(i + 1), lambda: None)
+              for i in range(1000)]
+    for timer in timers[:-1]:
+        timer.cancel()
+    assert sim.pending == 1
+    assert len(sim._heap) < 100
+    sim.run()
+    assert sim.now == 1000.0
+
+
+def test_run_window_is_strict_and_does_not_clamp():
+    sim = Simulator()
+    fired = []
+    for t in (1.0, 2.0, 3.0):
+        sim.call_at(t, lambda t=t: fired.append(t))
+    ran = sim.run_window(2.5)
+    assert ran == 2
+    assert fired == [1.0, 2.0]
+    assert sim.now == 2.0          # not clamped to the horizon
+    assert sim.peek() == 3.0
+    assert sim.run_window(3.0) == 0   # event AT the horizon stays put
+    assert sim.run_window(3.5) == 1
+
+
+def test_advance_to_moves_idle_clock_and_guards_live_events():
+    sim = Simulator()
+    sim.call_after(5.0, lambda: None)
+    sim.run()
+    sim.advance_to(20.0)
+    assert sim.now == 20.0
+    sim.advance_to(20.0)           # idempotent at the same time
+    sim.call_after(1.0, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.advance_to(30.0)       # would skip a live event
+
+
+def test_keys_order_same_time_events_content_based():
+    from repro.sim import NO_KEY
+    sim = Simulator()
+    fired = []
+    sim.call_at(5.0, lambda: fired.append("b"), key=("b", 0))
+    sim.call_at(5.0, lambda: fired.append("a"), key=("a", 7))
+    sim.call_at(5.0, lambda: fired.append("plain"), key=NO_KEY)
+    sim.run()
+    # Keyless events sort before any keyed event at the same time;
+    # keyed events sort by key, independent of insertion order.
+    assert fired == ["plain", "a", "b"]
+
+
+def test_same_key_same_time_falls_back_to_schedule_order():
+    sim = Simulator()
+    fired = []
+    sim.call_at(1.0, lambda: fired.append(1), key=("k", 0))
+    sim.call_at(1.0, lambda: fired.append(2), key=("k", 0))
+    sim.run()
+    assert fired == [1, 2]
