@@ -42,6 +42,10 @@ class Cell:
     # header, set by a congested switch port and read by the receiver
     # (the cheap alternative to credit flow control).
     efci: bool = field(default=False, compare=False)
+    # Set by a fault site when it flips a payload bit; the receiver's
+    # AAL5 CRC is what actually detects it -- this flag only feeds the
+    # delivered-corrupted accounting in the conservation law.
+    corrupted: bool = field(default=False, compare=False)
 
     def __post_init__(self) -> None:
         if len(self.payload) > AAL_PAYLOAD_BYTES:

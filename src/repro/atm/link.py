@@ -39,6 +39,9 @@ class CellPipe:
         self.cell_time_us = ATM_CELL_BYTES * 8.0 / rate_mbps
         self.cells_carried = 0
         self.max_queue = 0
+        # Optional FaultSite (repro.faults): consulted at emission time;
+        # a lost cell is simply never scheduled for delivery.
+        self.fault_site = None
         self._queue: Store = Store(sim, f"{self.name}.q")
         self._last_arrival = 0.0
         # Pluggable delivery scheduler.  A sharded fabric replaces this
@@ -60,6 +63,10 @@ class CellPipe:
         while True:
             cell = yield self._queue.get()
             yield Delay(self.cell_time_us)  # serialization at line rate
+            if self.fault_site is not None:
+                cell = self.fault_site.filter(cell, self.sim.now)
+                if cell is None:
+                    continue    # lost on the wire
             extra = self.queueing_delay() if self.queueing_delay else 0.0
             arrival = self.sim.now + self.prop_delay_us + max(0.0, extra)
             # Clamp: cells on one physical link stay in order.

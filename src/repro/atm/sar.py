@@ -63,6 +63,21 @@ class SequenceNumberReassembler:
         """Sequence number the next PDU will start at."""
         return self._start
 
+    def resync(self, start: int) -> int:
+        """Abandon the wedged stream and resume at ``start``.
+
+        A destroyed cell leaves a sequence gap no amount of waiting can
+        fill (retransmissions arrive under *new* numbers), so once the
+        window overflows the only way forward is to drop everything
+        buffered and restart.  Partially-arrived PDUs straddling the
+        resync complete with holes and are discarded by the AAL5 CRC --
+        the CRC, not the resequencer, is the integrity backstop.
+        """
+        self._cells.clear()
+        self._eoms.clear()
+        self._start = max(self._start, start)
+        return self._start
+
     def push(self, cell: Cell) -> list[bytes]:
         if cell.seq is None:
             raise Aal5Error("strategy-1 cell lacks a sequence number")

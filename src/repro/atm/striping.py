@@ -135,6 +135,28 @@ class StripedLink:
         self._next_link = 0
         self.cells_sent = 0
         self.pdus_sent = 0
+        self._dead_lanes: set[int] = set()
+        self._alive_lanes: list[int] = list(range(n_links))
+        self._respread_rr = 0
+
+    def degrade(self, lane: int) -> None:
+        """Remove a dead lane from the striping group.
+
+        Subsequent cells are re-spread across the surviving lanes.  The
+        re-spread breaks the ``i mod 4`` reassembly invariant, so the
+        cells are un-stamped (``tx_index = -1``): receivers must place
+        them by sequence number, which is exactly what the paper's
+        sequence-number skew strategy provides.
+        """
+        if not 0 <= lane < self.n_links:
+            raise ValueError(f"lane {lane} out of range")
+        self._dead_lanes.add(lane)
+        self._alive_lanes = [i for i in range(self.n_links)
+                             if i not in self._dead_lanes]
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self._dead_lanes)
 
     def start_pdu(self) -> None:
         """Reset the striper so the next cell rides link 0."""
@@ -155,6 +177,17 @@ class StripedLink:
         else:
             link_id = self._next_link
             self._next_link = (self._next_link + 1) % self.n_links
+        if self._dead_lanes and self._alive_lanes:
+            # Degraded group: re-spread round-robin over the survivors
+            # so every alive lane carries an equal share (a modulo
+            # remap would double-load some lanes, and the resulting
+            # queue skew grows without bound).  Un-stamp the cell --
+            # its lane is no longer derivable from tx_index, so
+            # downstream width guards must not be applied to it.
+            link_id = self._alive_lanes[
+                self._respread_rr % len(self._alive_lanes)]
+            self._respread_rr += 1
+            cell.tx_index = -1
         self.cells_sent += 1
         self.pipes[link_id].submit(cell)
 

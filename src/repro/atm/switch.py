@@ -83,6 +83,10 @@ class _OutputPort:
         self.dropped_queue_full = 0
         self.max_queue_seen = 0
         self.vci_counters: dict[int, _VciCounters] = {}
+        # Fault state: a killed port loses arrivals (lost_to_faults);
+        # its backlog is allowed to drain.
+        self.fault_dead = False
+        self.lost_to_faults = 0
 
     @property
     def cells_held(self) -> int:
@@ -176,6 +180,8 @@ class PortStats:
     max_queue_seen: int
     depth: int
     dropped_queue_full: int
+    lost_to_faults: int = 0
+    dead: bool = False
     vcis: dict = field(default_factory=dict)
 
 
@@ -222,6 +228,7 @@ class CellSwitch:
         self.cells_switched = 0
         self.dropped_no_route = 0
         self.dropped_queue_full = 0
+        self.cells_lost_to_faults = 0
         self.cross_cells_injected = 0
 
     @property
@@ -281,6 +288,14 @@ class CellSwitch:
         """(trunk id, output VCI) for an input VCI, or None."""
         return self._routes.get(vci)
 
+    def has_trunk(self, trunk_id: int) -> bool:
+        """Does this switch own real ports for ``trunk_id``?"""
+        return trunk_id in self._trunks
+
+    def has_remote_trunk(self, trunk_id: int) -> bool:
+        """Is ``trunk_id`` registered as another shard's?"""
+        return trunk_id in self._remote_trunks
+
     def on_cell_forwarded(self, trunk_id: int, vci: int,
                           callback: Callable[[], None]) -> None:
         """Invoke ``callback`` each time this trunk forwards a cell
@@ -289,6 +304,15 @@ class CellSwitch:
         if trunk_id not in self._trunks:
             raise SimulationError(f"unknown trunk {trunk_id}")
         self._forward_hooks[(trunk_id, vci)] = callback
+
+    def kill_port(self, trunk_id: int, lane: int) -> None:
+        """Fail one output port: subsequent arrivals are lost to the
+        fault; cells already queued drain normally."""
+        ports = self._trunks.get(trunk_id)
+        if ports is None or not 0 <= lane < len(ports):
+            raise SimulationError(
+                f"{self.name}: no port (trunk {trunk_id}, lane {lane})")
+        ports[lane].fault_dead = True
 
     # -- data path -----------------------------------------------------------------
 
@@ -327,7 +351,7 @@ class CellSwitch:
         rewritten = Cell(vci=out_vci, payload=cell.payload,
                          eom=cell.eom, seq=cell.seq,
                          atm_last=cell.atm_last, tx_index=cell.tx_index,
-                         efci=cell.efci)
+                         efci=cell.efci, corrupted=cell.corrupted)
         rewritten.link_id = lane
         if self._admit(ports[lane], rewritten):
             self.cells_switched += 1
@@ -336,6 +360,10 @@ class CellSwitch:
         """Admission control for one port; returns False on a
         queue-full drop.  Credit mode never drops for occupancy: the
         per-VCI windows upstream bound what can arrive."""
+        if port.fault_dead:
+            port.lost_to_faults += 1
+            self.cells_lost_to_faults += 1
+            return False
         if (self.backpressure != "credit"
                 and port.depth >= self.port_queue_cells):
             victim = (port.push_out_longest(cell.vci)
@@ -412,6 +440,8 @@ class CellSwitch:
                       max_queue_seen=port.max_queue_seen,
                       depth=port.depth,
                       dropped_queue_full=port.dropped_queue_full,
+                      lost_to_faults=port.lost_to_faults,
+                      dead=port.fault_dead,
                       vcis={vci: {"enqueued": c.enqueued,
                                   "forwarded": c.forwarded,
                                   "dropped": c.dropped,

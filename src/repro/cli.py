@@ -102,6 +102,17 @@ def _cmd_cluster(args) -> None:
         backpressure=args.backpressure,
         credit_window_cells=args.window,
         drain_policy=args.drain)
+    if args.faults:
+        from .faults import FaultPlan
+        try:
+            fabric_kwargs["faults"] = FaultPlan.parse(
+                args.faults, seed=args.seed)
+        except ValueError as exc:
+            raise SystemExit(f"cluster: {exc}")
+    if args.regen_timeout is not None:
+        fabric_kwargs["credit_regen_timeout_us"] = args.regen_timeout
+    if args.watchdog is not None:
+        fabric_kwargs["credit_watchdog_us"] = args.watchdog
 
     def make_fabric() -> Fabric:
         return Fabric(**fabric_kwargs)
@@ -150,6 +161,18 @@ def _cmd_cluster(args) -> None:
     result = run_workload(fabric, spec)
     report = collect(fabric, result)
     print(report.to_json() if args.json else report.render())
+
+
+def _cmd_chaos(args) -> None:
+    from .faults.chaos import main as chaos_main
+
+    argv = ["--seed", str(args.seed), "--shards", args.shards,
+            "--backend", args.backend]
+    if args.quick:
+        argv.append("--quick")
+    if args.json:
+        argv.append("--json")
+    raise SystemExit(chaos_main(argv))
 
 
 def _cmd_latency(args) -> None:
@@ -248,10 +271,39 @@ def build_parser() -> argparse.ArgumentParser:
                          help="execution backend for --shards > 1: "
                               "processes (parallel), threads, or an "
                               "in-process loop (debugging)")
+    cluster.add_argument("--faults", default=None, metavar="SPEC",
+                         help="fault plan, e.g. 'loss=0.01,corrupt="
+                              "0.001,flap=2:1@500+200,kill=0:3@1000,"
+                              "port=0:0:1@800,credit-loss=0.05' "
+                              "(seeded by --seed)")
+    cluster.add_argument("--regen-timeout", type=float, default=None,
+                         metavar="US",
+                         help="credit regeneration: refill a flow's "
+                              "full window after this many us stalled "
+                              "with zero refills (recovers lost "
+                              "credits)")
+    cluster.add_argument("--watchdog", type=float, default=None,
+                         metavar="US",
+                         help="credit deadlock watchdog: raise a "
+                              "diagnosable error instead of hanging "
+                              "when a flow is stalled this long with "
+                              "zero refills")
     cluster.add_argument("--seed", type=int, default=1)
     cluster.add_argument("--json", action="store_true",
                          help="machine-readable JSON report")
     cluster.set_defaults(func=_cmd_cluster)
+
+    chaos = sub.add_parser(
+        "chaos", help="seeded fault matrix: conservation + "
+                      "shard-determinism checks")
+    chaos.add_argument("--seed", type=int, default=1)
+    chaos.add_argument("--quick", action="store_true")
+    chaos.add_argument("--shards", default="1,2",
+                       help="comma-separated shard counts to compare")
+    chaos.add_argument("--backend", default="thread",
+                       choices=("proc", "thread", "inline"))
+    chaos.add_argument("--json", action="store_true")
+    chaos.set_defaults(func=_cmd_chaos)
 
     for name, fn in (("latency", _cmd_latency),
                      ("receive", _cmd_receive),

@@ -28,7 +28,7 @@ cross traffic) pass through untouched.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Generator, Optional
 
 from ..sim import Delay, Signal, SimulationError, Simulator
@@ -49,17 +49,55 @@ class _FlowGate:
     stall_time_us: float = 0.0
     refills: int = 0
     pauses: int = 0
+    regenerations: int = 0
+    # Incremented every time credits arrive (refill or regeneration).
+    # Recovery timers capture the epoch when armed and no-op if it has
+    # moved on -- the cheap way to cancel a stale timer.
+    epoch: int = 0
+    waiting: bool = False
+    # Live recovery Timer handles; cancelled the moment a genuine
+    # refill arrives so an armed-but-moot timer cannot extend the
+    # simulation past its natural quiescence.
+    timers: list = field(default_factory=list)
 
 
 class CreditGate:
-    """Per-VCI emission gate at one host's fabric ingress."""
+    """Per-VCI emission gate at one host's fabric ingress.
 
-    def __init__(self, sim: Simulator, name: str = "gate"):
+    Two optional recovery mechanisms guard the credit loop against an
+    unreliable fabric (both default off, so a loss-free run is
+    bit-for-bit unchanged):
+
+    * ``regen_timeout_us`` -- if a flow has been stalled at zero
+      credits for this long without a single refill, the gate assumes
+      the outstanding cells (or their returning credits) died in the
+      fabric and regenerates the full window.  At fault rate 0 a stall
+      always ends with a genuine refill first, so regeneration never
+      fires and the loss-free result is preserved.
+    * ``watchdog_us`` -- same trigger, but instead of recovering the
+      gate raises a diagnosable :class:`SimulationError` naming the
+      VCI and its outstanding count.  This turns the silent
+      credit-deadlock hang into a crash with a cause attached.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "gate",
+                 regen_timeout_us: Optional[float] = None,
+                 watchdog_us: Optional[float] = None):
+        if regen_timeout_us is not None and regen_timeout_us <= 0:
+            raise SimulationError(
+                f"{name}: regen_timeout_us must be positive")
+        if watchdog_us is not None and watchdog_us <= 0:
+            raise SimulationError(
+                f"{name}: watchdog_us must be positive")
         self.sim = sim
         self.name = name
+        self.regen_timeout_us = regen_timeout_us
+        self.watchdog_us = watchdog_us
         self._flows: dict[int, _FlowGate] = {}
         self.stalls = 0
         self.stall_time_us = 0.0
+        self.regenerations = 0
+        self.credits_regenerated = 0
 
     def open_vci(self, vci: int, window: Optional[int] = None) -> None:
         """Gate emissions on ``vci``.  ``window`` is the credit budget
@@ -98,7 +136,11 @@ class CreditGate:
                 return
             flow.stalls += 1
             self.stalls += 1
+            flow.waiting = True
+            self._arm_recovery(flow)
             yield flow.signal
+            flow.waiting = False
+            self._cancel_recovery(flow)
             elapsed = self.sim.now - start
             flow.stall_time_us += elapsed
             self.stall_time_us += elapsed
@@ -113,7 +155,54 @@ class CreditGate:
         if flow.window is None or flow.credits < flow.window:
             flow.credits += 1
             flow.refills += 1
+            flow.epoch += 1
+            self._cancel_recovery(flow)
             flow.signal.fire()
+
+    def _arm_recovery(self, flow: _FlowGate) -> None:
+        """Arm the regeneration and watchdog timers for one stall."""
+        epoch = flow.epoch
+        now = self.sim.now
+        if self.regen_timeout_us is not None:
+            flow.timers.append(self.sim.call_at(
+                now + self.regen_timeout_us,
+                lambda: self._regen_fire(flow, epoch)))
+        if self.watchdog_us is not None:
+            flow.timers.append(self.sim.call_at(
+                now + self.watchdog_us,
+                lambda: self._watchdog_fire(flow, epoch)))
+
+    def _cancel_recovery(self, flow: _FlowGate) -> None:
+        for timer in flow.timers:
+            timer.cancel()
+        flow.timers.clear()
+
+    def _regen_fire(self, flow: _FlowGate, epoch: int) -> None:
+        if (not flow.waiting or flow.epoch != epoch
+                or flow.credits is None or flow.window is None):
+            return  # stale: a real refill arrived, or the stall ended
+        regenerated = flow.window - flow.credits
+        flow.credits = flow.window
+        flow.regenerations += 1
+        flow.epoch += 1
+        self.regenerations += 1
+        self.credits_regenerated += regenerated
+        self._cancel_recovery(flow)
+        flow.signal.fire()
+
+    def _watchdog_fire(self, flow: _FlowGate, epoch: int) -> None:
+        if (not flow.waiting or flow.epoch != epoch
+                or flow.credits is None or flow.window is None):
+            return
+        outstanding = flow.window - flow.credits
+        raise SimulationError(
+            f"{self.name}: credit deadlock on VCI {flow.vci:#x}: "
+            f"stalled since t={self.sim.now - self.watchdog_us:.1f}us "
+            f"with zero refills for {self.watchdog_us:.1f}us; "
+            f"{outstanding} of {flow.window} credits outstanding "
+            f"(lost data or credit cells?). Enable credit "
+            f"regeneration (regen_timeout_us / --regen-timeout) to "
+            f"recover instead of raising.")
 
     def pause(self, vci: int, until_us: float) -> None:
         """Hold ``vci``'s emissions until the given simulation time --
@@ -138,6 +227,8 @@ class CreditGate:
             "stalls": self.stalls,
             "stall_time_us": self.stall_time_us,
             "credits_outstanding": self.credits_outstanding(),
+            "regenerations": self.regenerations,
+            "credits_regenerated": self.credits_regenerated,
             "flows": {
                 flow.vci: {
                     "window": flow.window,
@@ -146,6 +237,7 @@ class CreditGate:
                     "stall_time_us": flow.stall_time_us,
                     "refills": flow.refills,
                     "pauses": flow.pauses,
+                    "regenerations": flow.regenerations,
                 }
                 for flow in self._flows.values()
             },

@@ -70,6 +70,7 @@ from ..atm.aal5 import SegmentMode
 from ..atm.link import OC3_MBPS
 from ..atm.striping import SkewModel, StripedLink
 from ..atm.switch import BACKPRESSURE_MODES, DRAIN_POLICIES, CellSwitch
+from ..faults import FaultPlan, FaultSite
 from ..hw.specs import STRIPE_LINKS, MachineSpec
 from ..sim import Fidelity, SimulationError, Simulator
 from .backpressure import CreditGate
@@ -136,6 +137,9 @@ class Fabric:
                  efci_threshold_cells: Optional[int] = None,
                  efci_pause_us: float = 60.0,
                  drain_policy: str = "rr",
+                 faults: Optional[FaultPlan] = None,
+                 credit_regen_timeout_us: Optional[float] = None,
+                 credit_watchdog_us: Optional[float] = None,
                  fidelity: Optional[Fidelity] = None,
                  names: Optional[Sequence[str]] = None,
                  **host_kw):
@@ -165,6 +169,12 @@ class Fabric:
                 "backpressure needs a switched fabric; the direct "
                 "topology has no ports to protect")
 
+        if faults is not None and faults.port_kills \
+                and topology != "switched":
+            raise SimulationError(
+                "port kills need a switched fabric; the direct "
+                "topology has no switch ports")
+
         self.sim = Simulator()
         self.topology = topology
         self.backpressure = backpressure
@@ -172,6 +182,14 @@ class Fabric:
         self.efci_pause_us = efci_pause_us
         self.prop_delay_us = prop_delay_us
         self.drain_policy = drain_policy
+        self.faults = faults
+        self.credit_regen_timeout_us = credit_regen_timeout_us
+        self.credit_watchdog_us = credit_watchdog_us
+        # Fault-site registry: site name -> FaultSite on links this
+        # fabric instance owns (a shard registers only its slice).
+        self._fault_sites: dict[str, FaultSite] = {}
+        self._uplink_sites: list[FaultSite] = []
+        self.credit_cells_lost = 0
         self.gates: list[Optional[CreditGate]] = []
         # delivered (rewritten) VCI -> (source host, source VCI): the
         # reverse map the EFCI relay uses to find whom to pause.
@@ -207,7 +225,12 @@ class Fabric:
         # receiving one hasn't seen them yet.
         self._isw_in_flight = 0
         self._delivered = [0] * len(self.hosts)
+        # Delivered cells whose payload a fault site mutated; counted
+        # separately so the conservation identity can name them.
+        self._corrupted = [0] * len(self.hosts)
         self._uplink_arrived = [0] * len(self.hosts)
+        # host index -> its striped uplink (owned hosts only).
+        self._uplink_by_host: dict[int, StripedLink] = {}
 
         if topology == "direct":
             self._wire_direct(prop_delay_us)
@@ -215,6 +238,7 @@ class Fabric:
             self._wire_switched(n_switches, prop_delay_us,
                                 switching_delay_us, port_rate_mbps,
                                 port_queue_cells, efci_threshold_cells)
+        self._schedule_faults()
 
     # -- sharding hooks -----------------------------------------------------------
     #
@@ -290,6 +314,9 @@ class Fabric:
                               prop_delay_us=prop_delay_us,
                               name=f"{b.name}{a.name}")
         self.uplinks = [link_ab, link_ba]
+        self._uplink_by_host = {0: link_ab, 1: link_ba}
+        self._attach_fault_sites(0, link_ab)
+        self._attach_fault_sites(1, link_ba)
         a.connect(link_ab, segment_mode=self.segment_mode)
         b.connect(link_ba, segment_mode=self.segment_mode)
 
@@ -362,6 +389,8 @@ class Fabric:
             for pipe in uplink.pipes:
                 self._hook_uplink_pipe(i, k, pipe)
             self.uplinks.append(uplink)
+            self._uplink_by_host[i] = uplink
+            self._attach_fault_sites(i, uplink)
             host.connect(uplink, segment_mode=self.segment_mode)
 
         # Flow-control gates: one per host, consulted by its transmit
@@ -372,16 +401,91 @@ class Fabric:
                 if host is None:
                     self.gates.append(None)
                     continue
-                gate = CreditGate(self.sim, name=f"{host.name}.gate")
+                gate = CreditGate(
+                    self.sim, name=f"{host.name}.gate",
+                    regen_timeout_us=self.credit_regen_timeout_us,
+                    watchdog_us=self.credit_watchdog_us)
                 self.gates.append(gate)
                 host.txp.credit_gate = gate
+
+    # -- fault injection ----------------------------------------------------------
+
+    def _attach_fault_sites(self, host_index: int, uplink) -> None:
+        """Instantiate the fault plan on every lane of one uplink."""
+        if self.faults is None:
+            return
+        for pipe in uplink.pipes:
+            site = self.faults.site(f"up.h{host_index}.l{pipe.link_id}")
+            pipe.fault_site = site
+            self._fault_sites[site.name] = site
+            self._uplink_sites.append(site)
+
+    def _schedule_faults(self) -> None:
+        """Arm the plan's scheduled events on links/ports this fabric
+        owns.  Keys are content-based (``("fault", kind, ids...)``) so
+        a shard orders them identically to the single-process run."""
+        plan = self.faults
+        if plan is None:
+            return
+        for i, flap in enumerate(plan.flaps):
+            self._check_lane(flap.host, flap.lane, "flap")
+            if not self.owns_host(flap.host):
+                continue
+            site = self._fault_sites[f"up.h{flap.host}.l{flap.lane}"]
+            until = flap.at_us + flap.duration_us
+            self.sim.call_at(
+                flap.at_us, lambda s=site, u=until: s.flap(u),
+                key=("fault", "flap", flap.host, flap.lane, i))
+        for i, kill in enumerate(plan.lane_kills):
+            self._check_lane(kill.host, kill.lane, "kill")
+            if not self.owns_host(kill.host):
+                continue
+            site = self._fault_sites[f"up.h{kill.host}.l{kill.lane}"]
+            uplink = self._uplink_by_host[kill.host]
+
+            def fire_kill(s=site, up=uplink, lane=kill.lane) -> None:
+                s.kill()
+                up.degrade(lane)
+
+            self.sim.call_at(kill.at_us, fire_kill,
+                             key=("fault", "kill", kill.host, kill.lane,
+                                  i))
+        for i, pk in enumerate(plan.port_kills):
+            if not 0 <= pk.switch < len(self.switches):
+                raise SimulationError(
+                    f"fault plan kills a port on switch {pk.switch}; "
+                    f"the fabric has {len(self.switches)}")
+            sw = self.switches[pk.switch]
+            if not sw.has_trunk(pk.trunk):
+                if sw.has_remote_trunk(pk.trunk):
+                    continue    # another shard owns these ports
+                raise SimulationError(
+                    f"fault plan kills unknown trunk {pk.trunk} on "
+                    f"switch {pk.switch}")
+            self.sim.call_at(
+                pk.at_us,
+                lambda s=sw, t=pk.trunk, ln=pk.lane: s.kill_port(t, ln),
+                key=("fault", "port", pk.switch, pk.trunk, pk.lane, i))
+
+    def _check_lane(self, host: int, lane: int, what: str) -> None:
+        if not 0 <= host < len(self.hosts):
+            raise SimulationError(
+                f"fault plan {what}s host {host}; the fabric has "
+                f"{len(self.hosts)} hosts")
+        if not 0 <= lane < STRIPE_LINKS:
+            raise SimulationError(
+                f"fault plan {what}s lane {lane}; uplinks have "
+                f"{STRIPE_LINKS} lanes")
 
     def _deliver_fn(self, host_index: int):
         """Count cells crossing the fabric boundary into one host."""
         board_deliver = self.hosts[host_index].board.deliver_cell
 
         def deliver(cell) -> None:
-            self._delivered[host_index] += 1
+            if cell.corrupted:
+                self._corrupted[host_index] += 1
+            else:
+                self._delivered[host_index] += 1
             if cell.efci:
                 self._note_efci(cell.vci)
             board_deliver(cell)
@@ -500,7 +604,14 @@ class Fabric:
 
     def _credit_return_fn(self, src: int, in_vci: int):
         def credit_return() -> None:
+            # The channel counter is consumed even for a credit cell
+            # the fault plan eats, so the fate of the nth credit is
+            # content-addressed and shard-independent.
             key = self._chan_key("credit", in_vci)
+            if (self.faults is not None
+                    and self.faults.credit_lost(in_vci, key[-1])):
+                self.credit_cells_lost += 1
+                return
             self._emit_boundary(self.sim.now + self.prop_delay_us, key,
                                 ("refill", src, in_vci))
 
@@ -552,9 +663,20 @@ class Fabric:
         return injected
 
     def cells_delivered(self) -> int:
-        """Cells handed to a host board (drops beyond that boundary
-        are the host's, counted in its own stats)."""
+        """Cells handed to a host board intact (drops beyond that
+        boundary are the host's, counted in its own stats)."""
         return sum(self._delivered)
+
+    def cells_corrupted(self) -> int:
+        """Cells handed to a host board with a fault-flipped payload
+        bit -- the receiver's AAL5 CRC discards the enclosing PDU."""
+        return sum(self._corrupted)
+
+    def cells_lost_to_faults(self) -> int:
+        """Cells the fault plan destroyed outright: eaten on a down or
+        lossy link, or sunk by a killed switch port."""
+        return (sum(site.cells_lost for site in self._uplink_sites)
+                + sum(sw.cells_lost_to_faults for sw in self.switches))
 
     def cells_dropped(self) -> int:
         """Cells the fabric lost: unrouted VCIs and full ports."""
@@ -577,6 +699,8 @@ class Fabric:
         stats: dict = {"mode": self.backpressure}
         if self.backpressure == "credit":
             stats["credit_window_cells"] = self.credit_window_cells
+            stats["regen_timeout_us"] = self.credit_regen_timeout_us
+            stats["watchdog_us"] = self.credit_watchdog_us
         else:
             stats["efci_pause_us"] = self.efci_pause_us
         stats["hosts"] = [
@@ -591,28 +715,52 @@ class Fabric:
         plus held in switch ports.  Measured from link and switch
         counters, independently of the delivery count -- which is what
         makes the conservation identity a real invariant."""
-        in_flight = (sum(link.cells_sent for link in self.uplinks)
-                     - sum(self._uplink_arrived))
+        pipe_lost = sum(site.cells_lost for site in self._uplink_sites)
         if self.topology == "direct":
-            # No switch: in flight is everything not yet delivered.
+            # No switch: in flight is everything not yet delivered,
+            # corrupted-and-delivered, or eaten by a fault site.
             return (sum(link.cells_sent for link in self.uplinks)
-                    - self.cells_delivered())
+                    - self.cells_delivered() - self.cells_corrupted()
+                    - pipe_lost)
+        in_flight = (sum(link.cells_sent for link in self.uplinks)
+                     - sum(self._uplink_arrived) - pipe_lost)
         return (in_flight + self._isw_in_flight
                 + sum(sw.queued_cells() for sw in self.switches))
 
     def conservation(self) -> dict:
-        """The cell-conservation identity:
-        injected == delivered + queued + dropped."""
+        """The cell-conservation identity, extended for faults:
+        injected == delivered + corrupted + queued + dropped
+        + lost_to_faults (the last two fault terms are zero on a
+        perfect fabric, recovering the original law)."""
         injected = self.cells_injected()
         delivered = self.cells_delivered()
+        corrupted = self.cells_corrupted()
         queued = self.cells_queued()
         dropped = self.cells_dropped()
+        lost = self.cells_lost_to_faults()
         return {
             "injected": injected,
             "delivered": delivered,
+            "corrupted": corrupted,
             "queued": queued,
             "dropped": dropped,
-            "holds": injected == delivered + queued + dropped,
+            "lost_to_faults": lost,
+            "holds": injected == (delivered + corrupted + queued
+                                  + dropped + lost),
+        }
+
+    def fault_stats(self) -> Optional[dict]:
+        """Fault counters for the cluster report, or None when the
+        fabric runs fault-free."""
+        if self.faults is None:
+            return None
+        return {
+            "plan": self.faults.to_dict(),
+            "lost_to_faults": self.cells_lost_to_faults(),
+            "corrupted_delivered": self.cells_corrupted(),
+            "credit_cells_lost": self.credit_cells_lost,
+            "sites": {name: site.stats()
+                      for name, site in sorted(self._fault_sites.items())},
         }
 
 

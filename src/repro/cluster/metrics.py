@@ -33,6 +33,7 @@ class ClusterReport:
     switches: list = field(default_factory=list)
     workload: Optional[dict] = None
     backpressure: Optional[dict] = None
+    faults: Optional[dict] = None
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -51,13 +52,28 @@ class ClusterReport:
             f"t={self.sim_time_us:.1f} us",
         ]
         conservation = self.conservation
+        fault_terms = ""
+        if conservation.get("corrupted") or \
+                conservation.get("lost_to_faults"):
+            fault_terms = (
+                f"corrupted {conservation['corrupted']}  "
+                f"lost-to-faults {conservation['lost_to_faults']}  ")
         lines.append(
             "  cells: injected {injected}  delivered {delivered}  "
-            "queued {queued}  dropped {dropped}  -> conservation "
-            "{verdict}".format(
+            "queued {queued}  dropped {dropped}  {faults}-> "
+            "conservation {verdict}".format(
                 verdict="holds" if conservation["holds"] else "VIOLATED",
+                faults=fault_terms,
                 **{k: conservation[k] for k in
                    ("injected", "delivered", "queued", "dropped")}))
+        if self.faults:
+            fl = self.faults
+            dead = sum(1 for s in fl["sites"].values() if s["dead"])
+            lines.append(
+                f"  faults: {fl['lost_to_faults']} cells lost, "
+                f"{fl['corrupted_delivered']} delivered corrupted, "
+                f"{fl['credit_cells_lost']} credit cells lost, "
+                f"{dead} dead lane(s)")
         if self.drops and (self.drops.get("no_route")
                            or self.drops.get("queue_full")):
             lines.append(
@@ -113,6 +129,7 @@ def collect(fabric: Fabric,
             "dropped_no_route": sw.dropped_no_route,
             "dropped_queue_full": sw.dropped_queue_full,
             "cross_cells_injected": sw.cross_cells_injected,
+            "cells_lost_to_faults": sw.cells_lost_to_faults,
             "cells_queued": sw.queued_cells(),
             "ports": [asdict(p) for p in sw.port_stats()],
         })
@@ -127,6 +144,7 @@ def collect(fabric: Fabric,
         switches=switches,
         workload=workload.summary() if workload else None,
         backpressure=fabric.backpressure_stats(),
+        faults=fabric.fault_stats(),
     )
 
 

@@ -148,6 +148,7 @@ class _ShardProgram:
                 "dropped_no_route": sw.dropped_no_route,
                 "dropped_queue_full": sw.dropped_queue_full,
                 "cross_cells_injected": sw.cross_cells_injected,
+                "cells_lost_to_faults": sw.cells_lost_to_faults,
                 "cells_queued": sw.queued_cells(),
                 "ports": [asdict(p) for p in sw.port_stats()],
             })
@@ -166,6 +167,13 @@ class _ShardProgram:
                                      for link in fabric.uplinks),
             "uplink_arrived": sum(fabric._uplink_arrived),
             "delivered": sum(fabric._delivered),
+            "corrupted": sum(fabric._corrupted),
+            "uplink_fault_lost": sum(site.cells_lost
+                                     for site in fabric._uplink_sites),
+            "credit_cells_lost": fabric.credit_cells_lost,
+            "fault_sites": {name: site.stats()
+                            for name, site
+                            in fabric._fault_sites.items()},
             "isw_in_flight": fabric._isw_in_flight,
             "switches": switches,
             "gates": gates,
@@ -235,6 +243,8 @@ def merge_partials(fabric_kwargs: dict, spec: WorkloadSpec,
                                       for r in replicas),
             "cross_cells_injected": sum(r["cross_cells_injected"]
                                         for r in replicas),
+            "cells_lost_to_faults": sum(r["cells_lost_to_faults"]
+                                        for r in replicas),
             "cells_queued": sum(r["cells_queued"] for r in replicas),
             "ports": ports,
         })
@@ -242,15 +252,35 @@ def merge_partials(fabric_kwargs: dict, spec: WorkloadSpec,
     injected = (sum(p["uplink_cells_sent"] for p in partials)
                 + sum(sw["cross_cells_injected"] for sw in switches))
     delivered = sum(p["delivered"] for p in partials)
+    corrupted = sum(p["corrupted"] for p in partials)
+    uplink_fault_lost = sum(p["uplink_fault_lost"] for p in partials)
     queued = (sum(p["uplink_cells_sent"] for p in partials)
               - sum(p["uplink_arrived"] for p in partials)
+              - uplink_fault_lost
               + sum(p["isw_in_flight"] for p in partials)
               + sum(sw["cells_queued"] for sw in switches))
     dropped = sum(sw["cells_dropped"] for sw in switches)
+    lost = uplink_fault_lost + sum(sw["cells_lost_to_faults"]
+                                   for sw in switches)
     drops = {
         "no_route": sum(sw["dropped_no_route"] for sw in switches),
         "queue_full": sum(sw["dropped_queue_full"] for sw in switches),
     }
+
+    faults = None
+    plan = fabric_kwargs.get("faults")
+    if plan is not None:
+        sites: dict[str, dict] = {}
+        for partial in partials:
+            sites.update(partial["fault_sites"])
+        faults = {
+            "plan": plan.to_dict(),
+            "lost_to_faults": lost,
+            "corrupted_delivered": corrupted,
+            "credit_cells_lost": sum(p["credit_cells_lost"]
+                                     for p in partials),
+            "sites": dict(sorted(sites.items())),
+        }
 
     host_snaps: dict[int, dict] = {}
     for partial in partials:
@@ -264,6 +294,10 @@ def merge_partials(fabric_kwargs: dict, spec: WorkloadSpec,
         if mode == "credit":
             backpressure["credit_window_cells"] = fabric_kwargs.get(
                 "credit_window_cells", 64)
+            backpressure["regen_timeout_us"] = fabric_kwargs.get(
+                "credit_regen_timeout_us")
+            backpressure["watchdog_us"] = fabric_kwargs.get(
+                "credit_watchdog_us")
         else:
             backpressure["efci_pause_us"] = fabric_kwargs.get(
                 "efci_pause_us", 60.0)
@@ -284,15 +318,19 @@ def merge_partials(fabric_kwargs: dict, spec: WorkloadSpec,
         conservation={
             "injected": injected,
             "delivered": delivered,
+            "corrupted": corrupted,
             "queued": queued,
             "dropped": dropped,
-            "holds": injected == delivered + queued + dropped,
+            "lost_to_faults": lost,
+            "holds": injected == (delivered + corrupted + queued
+                                  + dropped + lost),
         },
         drops=drops,
         hosts=[host_snaps[i] for i in range(n_hosts)],
         switches=switches,
         workload=workload.summary(),
         backpressure=backpressure,
+        faults=faults,
     )
 
 

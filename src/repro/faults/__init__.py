@@ -1,0 +1,24 @@
+"""Deterministic fault injection for the cluster fabric.
+
+The physical layer the paper's adaptor lives with is imperfect --
+AAL5 carries a CRC-32 precisely because cells get corrupted and lost,
+and link striping must tolerate a degraded trunk.  This package makes
+the simulated fabric imperfect on demand: a :class:`FaultPlan`
+describes per-link cell loss and bit corruption, scheduled link flaps
+and kills, switch-port failures, and credit-cell loss, all seeded and
+content-addressed so every fault fires at the same place in a
+``--shards 1`` and a ``--shards N`` run.
+
+:mod:`repro.faults.chaos` runs workload x fault-plan matrices and
+checks the extended conservation law
+``injected = delivered + corrupted + queued + dropped + lost_to_faults``.
+"""
+
+from .plan import (
+    FaultPlan, FaultSite, LaneKill, LinkFlap, PortKill, fault_hash,
+)
+
+__all__ = [
+    "FaultPlan", "FaultSite", "LinkFlap", "LaneKill", "PortKill",
+    "fault_hash",
+]

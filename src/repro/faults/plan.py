@@ -1,0 +1,268 @@
+"""Fault plans and fault sites.
+
+A :class:`FaultPlan` is a declarative description of how the fabric
+misbehaves: per-cell loss and bit-corruption probabilities on the
+physical links, scheduled link flaps and permanent lane kills on the
+striped uplinks, switch output-port failures, and loss on the credit
+return channel.  A :class:`FaultSite` is the plan instantiated at one
+injection point (one :class:`~repro.atm.link.CellPipe`, one switch
+port); it owns the per-site counters the chaos reports aggregate.
+
+Determinism is the load-bearing property.  Fault decisions are *not*
+drawn from a shared RNG -- call order would then couple unrelated
+links, and a sharded run (which interleaves sites differently) would
+diverge from the single-process run.  Instead every decision is a pure
+hash of ``(seed, site name, cell index at that site, salt)`` via
+:func:`fault_hash`: the nth cell through a given site suffers the same
+fate in every execution that delivers the same cells to that site, so
+``--shards N`` stays byte-identical to ``--shards 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+from ..atm.crc import fast_crc32
+
+_MASK = 0xFFFFFFFFFFFFFFFF
+_INV_2_64 = 1.0 / float(1 << 64)
+
+
+def _splitmix64(x: int) -> int:
+    x = (x + 0x9E3779B97F4A7C15) & _MASK
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK
+    return x ^ (x >> 31)
+
+
+def fault_hash(*parts) -> float:
+    """A uniform draw in [0, 1) determined purely by ``parts``.
+
+    Strings are folded in through the library's own CRC-32 (stable
+    across processes, unlike ``hash``); integers directly.  Used for
+    every fault decision so outcomes are content-addressed, never
+    call-order-addressed.
+    """
+    x = 0
+    for part in parts:
+        if isinstance(part, str):
+            part = fast_crc32(part.encode("ascii"))
+        x = _splitmix64((x ^ (part & _MASK)) & _MASK)
+    return x * _INV_2_64
+
+
+@dataclass(frozen=True)
+class LinkFlap:
+    """Uplink lane ``(host, lane)`` goes down at ``at_us`` and comes
+    back ``duration_us`` later.  Cells serialized while down are lost;
+    the sender is unaware (physical-layer outage)."""
+
+    host: int
+    lane: int
+    at_us: float
+    duration_us: float
+
+
+@dataclass(frozen=True)
+class LaneKill:
+    """Uplink lane ``(host, lane)`` dies permanently at ``at_us``.
+
+    The striping group degrades: the striper re-spreads subsequent
+    cells across the surviving lanes (cells already queued on the dead
+    lane are lost)."""
+
+    host: int
+    lane: int
+    at_us: float
+
+
+@dataclass(frozen=True)
+class PortKill:
+    """Switch output port ``(switch, trunk, lane)`` dies at ``at_us``:
+    arrivals are lost to the fault; the backlog drains."""
+
+    switch: int
+    trunk: int
+    lane: int
+    at_us: float
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything that can go wrong, declaratively.
+
+    Probabilities apply per cell at every :class:`FaultSite`;
+    scheduled events name their sites explicitly.  A plan is immutable
+    and holds no state -- all mutable fault state lives in the sites,
+    so one plan can parameterize every shard of a sharded run.
+    """
+
+    seed: int = 1
+    cell_loss: float = 0.0          # per-cell loss probability (links)
+    corrupt: float = 0.0            # per-cell bit-flip probability
+    credit_loss: float = 0.0        # per-credit-cell loss probability
+    flaps: tuple[LinkFlap, ...] = ()
+    lane_kills: tuple[LaneKill, ...] = ()
+    port_kills: tuple[PortKill, ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in ("cell_loss", "corrupt", "credit_loss"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name}={p} is not a probability")
+
+    @property
+    def active(self) -> bool:
+        return bool(self.cell_loss or self.corrupt or self.credit_loss
+                    or self.flaps or self.lane_kills or self.port_kills)
+
+    def site(self, name: str) -> "FaultSite":
+        """Instantiate this plan at one injection point."""
+        return FaultSite(name, seed=self.seed,
+                         cell_loss=self.cell_loss, corrupt=self.corrupt)
+
+    def credit_lost(self, vci: int, n: int) -> bool:
+        """Is the nth credit cell returned for ``vci`` lost?"""
+        return (self.credit_loss > 0.0
+                and fault_hash(self.seed, "credit", vci, n)
+                < self.credit_loss)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def parse(cls, spec: str, seed: int = 1) -> "FaultPlan":
+        """Parse the CLI grammar, e.g.::
+
+            loss=0.01,corrupt=0.001,credit-loss=0.05,
+            flap=2:1@500+200,kill=0:3@1000,port=0:0:1@800
+
+        ``flap=H:L@AT+DUR`` flaps host H's uplink lane L at AT us for
+        DUR us; ``kill=H:L@AT`` kills the lane; ``port=S:T:L@AT`` kills
+        lane L of trunk T on switch S.  ``seed=N`` overrides ``seed``.
+        """
+        kw: dict = {"seed": seed, "flaps": [], "lane_kills": [],
+                    "port_kills": []}
+        for token in filter(None, (t.strip() for t in spec.split(","))):
+            if "=" not in token:
+                raise ValueError(f"bad fault token {token!r}")
+            key, _, value = token.partition("=")
+            key = key.strip().replace("-", "_")
+            try:
+                if key in ("loss", "cell_loss"):
+                    kw["cell_loss"] = float(value)
+                elif key == "corrupt":
+                    kw["corrupt"] = float(value)
+                elif key == "credit_loss":
+                    kw["credit_loss"] = float(value)
+                elif key == "seed":
+                    kw["seed"] = int(value)
+                elif key == "flap":
+                    where, _, when = value.partition("@")
+                    at, _, dur = when.partition("+")
+                    host, lane = (int(x) for x in where.split(":"))
+                    kw["flaps"].append(LinkFlap(
+                        host=host, lane=lane, at_us=float(at),
+                        duration_us=float(dur)))
+                elif key == "kill":
+                    where, _, at = value.partition("@")
+                    host, lane = (int(x) for x in where.split(":"))
+                    kw["lane_kills"].append(LaneKill(
+                        host=host, lane=lane, at_us=float(at)))
+                elif key == "port":
+                    where, _, at = value.partition("@")
+                    sw, trunk, lane = (int(x) for x in where.split(":"))
+                    kw["port_kills"].append(PortKill(
+                        switch=sw, trunk=trunk, lane=lane,
+                        at_us=float(at)))
+                else:
+                    raise ValueError(f"unknown fault key {key!r}")
+            except ValueError as exc:
+                if "unknown fault key" in str(exc) or \
+                        "not a probability" in str(exc):
+                    raise
+                raise ValueError(
+                    f"bad fault token {token!r}: {exc}") from exc
+        kw["flaps"] = tuple(kw["flaps"])
+        kw["lane_kills"] = tuple(kw["lane_kills"])
+        kw["port_kills"] = tuple(kw["port_kills"])
+        return cls(**kw)
+
+
+@dataclass
+class FaultSite:
+    """One injection point: a plan applied to one link or port.
+
+    Counters are per site; :meth:`repro.cluster.fabric.Fabric.
+    fault_stats` aggregates them into the report.  ``filter`` is the
+    data-path entry: it decides the fate of one cell.
+    """
+
+    name: str
+    seed: int = 1
+    cell_loss: float = 0.0
+    corrupt: float = 0.0
+    cells_seen: int = 0
+    cells_lost: int = 0
+    cells_lost_down: int = 0    # subset of cells_lost: link was down
+    cells_corrupted: int = 0
+    dead: bool = False
+    down_until: float = 0.0
+    _key: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        self._key = fast_crc32(self.name.encode("ascii"))
+
+    def is_down(self, now: float) -> bool:
+        return self.dead or now < self.down_until
+
+    def kill(self) -> None:
+        self.dead = True
+
+    def flap(self, until_us: float) -> None:
+        """Take the site down until ``until_us`` (overlaps extend)."""
+        self.down_until = max(self.down_until, until_us)
+
+    def filter(self, cell, now: float):
+        """Decide one cell's fate: ``None`` when the cell is lost,
+        else the cell itself -- possibly with a payload bit flipped and
+        its ``corrupted`` flag set."""
+        n = self.cells_seen
+        self.cells_seen += 1
+        if self.is_down(now):
+            self.cells_lost += 1
+            self.cells_lost_down += 1
+            return None
+        if (self.cell_loss > 0.0
+                and fault_hash(self.seed, self._key, n, 1)
+                < self.cell_loss):
+            self.cells_lost += 1
+            return None
+        if (self.corrupt > 0.0
+                and fault_hash(self.seed, self._key, n, 2) < self.corrupt):
+            self._flip_bit(cell, n)
+        return cell
+
+    def _flip_bit(self, cell, n: int) -> None:
+        cell.corrupted = True
+        self.cells_corrupted += 1
+        if cell.payload:
+            bit = int(fault_hash(self.seed, self._key, n, 3)
+                      * len(cell.payload) * 8)
+            index, offset = divmod(bit, 8)
+            flipped = bytearray(cell.payload)
+            flipped[index] ^= 1 << offset
+            cell.payload = bytes(flipped)
+
+    def stats(self) -> dict:
+        return {
+            "cells_seen": self.cells_seen,
+            "cells_lost": self.cells_lost,
+            "cells_lost_down": self.cells_lost_down,
+            "cells_corrupted": self.cells_corrupted,
+            "dead": self.dead,
+        }
+
+
+__all__ = ["FaultPlan", "FaultSite", "LinkFlap", "LaneKill", "PortKill",
+           "fault_hash"]

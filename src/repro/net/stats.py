@@ -43,6 +43,7 @@ class HostStats:
     pdus_sent: int
     pdus_received: int
     rx_errors: int
+    rx_crc_errors: int
     tx_full_events: int
     cached_buffer_hits: int
     uncached_buffer_uses: int
@@ -87,6 +88,7 @@ def snapshot(host) -> HostStats:
         pdus_sent=host.driver.pdus_sent,
         pdus_received=host.driver.pdus_received,
         rx_errors=host.driver.rx_errors,
+        rx_crc_errors=host.rxp.crc_errors if host.rxp else 0,
         tx_full_events=host.driver.tx_full_events,
         cached_buffer_hits=kernel_channel.cached_buffer_hits,
         uncached_buffer_uses=kernel_channel.uncached_buffer_uses,

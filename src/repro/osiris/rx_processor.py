@@ -30,9 +30,11 @@ import enum
 from dataclasses import dataclass, field
 from typing import Any, Generator, Optional
 
-from ..atm.aal5 import Aal5Error, Reassembler, SegmentMode, encode_pdu
+from ..atm.aal5 import Aal5Error, BadCrc, Reassembler, SegmentMode, encode_pdu
 from ..atm.cell import Cell
-from ..atm.sar import ConcurrentReassembler, SequenceNumberReassembler
+from ..atm.sar import (
+    ConcurrentReassembler, SequenceNumberReassembler, SkewOverflow,
+)
 from ..hw.dma import DmaMode
 from ..hw.specs import AAL_PAYLOAD_BYTES
 from ..sim import (
@@ -119,6 +121,14 @@ class RxProcessor:
             self._dma_tokens.try_put(None)
         self.pdus_received = 0
         self.pdus_errored = 0
+        # Subset of pdus_errored caught specifically by the AAL5 CRC
+        # (corrupted payload bits, as opposed to framing/length damage).
+        self.crc_errors = 0
+        # Loss recovery in SEQUENCE mode: resyncs after a destroyed
+        # cell wedged the resequencer, and stale duplicates dropped
+        # after base_seq moved past them.
+        self.skew_resyncs = 0
+        self.cells_stale = 0
         self.cells_received = 0
         self.cells_dropped_no_buffer = 0
         self.combined_dmas = 0
@@ -192,6 +202,11 @@ class RxProcessor:
                 self._reset_pdu(state)
             return None
         offset = self._cell_offset(state, cell)
+        if offset < 0:
+            # A duplicate from before a loss resync advanced base_seq;
+            # its bytes were already abandoned, so drop it quietly.
+            self.cells_stale += 1
+            return None
         bucket_index = offset // self.bufsize
         bucket = state.buckets.get(bucket_index)
         if bucket is None:
@@ -349,8 +364,16 @@ class RxProcessor:
                 cell, cell.link_id) \
                 if self.reassembly_mode is SegmentMode.CONCURRENT \
                 else state.detector.push(cell)
-        except Aal5Error:
+        except Aal5Error as exc:
             self.pdus_errored += 1
+            if isinstance(exc, BadCrc):
+                self.crc_errors += 1
+            if isinstance(exc, SkewOverflow):
+                # A destroyed cell wedged the sequence stream; abandon
+                # everything buffered and resume just past the cell
+                # that overflowed (see SequenceNumberReassembler.resync).
+                self.skew_resyncs += 1
+                state.detector.resync(cell.seq + 1)
             yield from self._deliver_pdu(state, error=True)
             return
         completed = self._completed(result)

@@ -99,6 +99,40 @@ def test_events_processed_matches_plain_run():
     assert run.events_processed == fabric.sim.events_processed
 
 
+# -- fault-plan axis ----------------------------------------------------------
+#
+# Fault decisions are content-addressed (seed, site, per-site cell
+# index), never drawn from shared call-order RNG, so every loss, bit
+# flip, flap, kill, and eaten credit cell must land identically no
+# matter how the hosts are sharded.
+
+_FAULT_SPECS = {
+    "loss-corrupt": "loss=0.01,corrupt=0.002",
+    "flap-kill": "flap=1:1@100+80,kill=2:0@200",
+    "credit-loss": "loss=0.01,credit-loss=0.1",
+}
+
+_FAULT_BASELINES: dict = {}
+
+
+def _fault_kwargs(spec_name):
+    from repro.faults import FaultPlan
+    return _kwargs("credit", faults=FaultPlan.parse(
+        _FAULT_SPECS[spec_name], seed=1), credit_regen_timeout_us=500.0)
+
+
+@pytest.mark.parametrize("backend", ("proc", "thread"))
+@pytest.mark.parametrize("faultspec", sorted(_FAULT_SPECS))
+def test_sharded_identical_under_faults(faultspec, backend):
+    if faultspec not in _FAULT_BASELINES:
+        fabric = Fabric(**_fault_kwargs(faultspec))
+        workload = run_workload(fabric, _spec("all2all"))
+        _FAULT_BASELINES[faultspec] = collect(fabric, workload).to_json()
+    report, _run = run_cluster_sharded(
+        _fault_kwargs(faultspec), _spec("all2all"), 2, backend=backend)
+    assert report.to_json() == _FAULT_BASELINES[faultspec]
+
+
 def test_sharding_rejects_direct_topology_and_zero_lookahead():
     with pytest.raises(SimulationError, match="switched"):
         ShardFabric(0, 2, machines=[DS5000_200, DS5000_200],
