@@ -40,10 +40,10 @@ def _spec(args) -> WorkloadSpec:
 
 
 def _fabric_kwargs(args, n_hosts: int) -> dict:
-    return dict(
-        machines=DS5000_200, n_hosts=n_hosts, n_switches=1,
-        backpressure="credit", credit_window_cells=64,
-        drain_policy="rr", prop_delay_us=args.prop_delay)
+    return {
+        "machines": DS5000_200, "n_hosts": n_hosts, "n_switches": 1,
+        "backpressure": "credit", "credit_window_cells": 64,
+        "drain_policy": "rr", "prop_delay_us": args.prop_delay}
 
 
 def run_sweep(args) -> dict:

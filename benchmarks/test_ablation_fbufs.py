@@ -52,7 +52,7 @@ def test_cached_order_of_magnitude_over_uncached(results):
 
 
 def test_fbufs_beat_copying_everywhere(results):
-    for (machine, domains), r in results.items():
+    for (_machine, _domains), r in results.items():
         assert r.cached_fbuf_mbps > r.copy_mbps
         assert r.uncached_fbuf_mbps > r.copy_mbps
 

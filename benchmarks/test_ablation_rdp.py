@@ -55,7 +55,7 @@ def run_rdp(window: int = 8) -> dict:
     sa = sessions[0][1]
 
     def go():
-        for k in range(N_MESSAGES):
+        for _ in range(N_MESSAGES):
             yield from apps[0].send_message(b"\x66" * SIZE)
         ok = yield from sa.wait_all_acked()
         assert ok

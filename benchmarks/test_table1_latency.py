@@ -29,7 +29,7 @@ def test_udp_slower_than_raw_atm(table1):
     for machine in (DS5000_200, DEC3000_600):
         atm = table1.row(machine, "atm")
         udp = table1.row(machine, "udp")
-        for a, u in zip(atm, udp):
+        for a, u in zip(atm, udp, strict=True):
             assert u > a
 
 
@@ -37,7 +37,7 @@ def test_alpha_faster_than_decstation(table1):
     for protocol in ("atm", "udp"):
         ds = table1.row(DS5000_200, protocol)
         alpha = table1.row(DEC3000_600, protocol)
-        for d, a in zip(ds, alpha):
+        for d, a in zip(ds, alpha, strict=True):
             assert a < d
 
 

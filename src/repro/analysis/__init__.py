@@ -1,0 +1,13 @@
+"""Static analysis and runtime sanitizers for the simulation tree.
+
+:mod:`repro.analysis.lint` -- the AST determinism linter
+(``python -m repro lint``); :mod:`repro.analysis.sanitize` -- the
+SRSW / windowing / conservation sanitizers (``--sanitize``).
+"""
+
+from . import lint, sanitize
+from .lint import Finding, lint_source, lint_tree
+from .sanitize import SanitizerError
+
+__all__ = ["lint", "sanitize", "Finding", "lint_source", "lint_tree",
+           "SanitizerError"]

@@ -1,0 +1,445 @@
+"""AST-based determinism linter for the simulation tree.
+
+The repo rests on two fragile disciplines: the paper's SRSW descriptor
+queues (section 2.1.1) and the sharded runs' byte-identity contract
+(``--shards N`` == ``--shards 1``).  Both die quietly when ordinary
+Python nondeterminism leaks into event scheduling or report
+serialization -- a module-level ``random.random()``, an unsorted
+``dict.values()`` walk that feeds JSON, a ``hash()``-derived key.  The
+end-to-end determinism tests tell you *that* a run diverged; this
+linter names the line.
+
+Rule catalog (full rationale in DESIGN.md section 8):
+
+``DET101 global-rng``
+    Calls to the module-global ``random.*`` functions, or ``Random()``
+    constructed without a seed.  The global RNG couples unrelated call
+    sites through shared state, so adding one draw anywhere reorders
+    every draw after it.
+``DET102 wall-clock``
+    ``time.time`` / ``perf_counter`` / ``monotonic`` / ``datetime.now``
+    and friends outside ``bench/``.  Simulated time is the only clock
+    the models may read.
+``DET103 unordered-iteration``
+    Iteration over ``dict.items()/.values()/.keys()``, set literals,
+    set comprehensions, or ``set()``/``frozenset()`` calls inside the
+    order-sensitive packages (``sim/``, ``cluster/``, ``faults/``)
+    when the result feeds an ordered consumer (a ``for`` loop, a
+    list/dict comprehension, ``list()``/``tuple()``/``dict()``).
+    Wrapping the producer in ``sorted()`` -- or consuming it with an
+    order-insensitive reducer (``sum``, ``min``, ``max``, ``any``,
+    ``all``, ``len``, ``set``, ``frozenset``) -- satisfies the rule.
+``DET104 identity-hash``
+    Calls to ``id()`` or builtin ``hash()``.  ``id()`` is an address;
+    ``hash()`` of a str is salted per process (PYTHONHASHSEED), so
+    neither may feed keys, ordering, or reports.
+``DET105 env-read``
+    ``os.cpu_count()``, ``os.environ``, ``os.getenv`` inside the
+    order-sensitive packages.  Host facts belong in ``bench/``
+    metadata, never in model logic.
+``DET106 fs-order``
+    ``os.listdir`` / ``os.scandir`` / ``os.walk`` / ``glob.*`` /
+    ``Path.iterdir|glob|rglob`` consumed without ``sorted()`` --
+    filesystem enumeration order is platform noise.
+
+Audited exceptions live in an allowlist file (default:
+``repro/analysis/allowlist.txt``), one entry per line::
+
+    RULE path[:line] -- reason the exception is sound
+
+Usage::
+
+    python -m repro lint            # human output, exit 1 on findings
+    python -m repro lint --json     # machine-readable findings
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Optional
+
+RULES = {
+    "DET101": "global-rng: module-level random.* call or unseeded Random()",
+    "DET102": "wall-clock: real-time clock read outside bench/",
+    "DET103": "unordered-iteration: dict/set iteration feeding an "
+              "ordered consumer without sorted()",
+    "DET104": "identity-hash: id() or builtin hash() call",
+    "DET105": "env-read: os.cpu_count/environ/getenv in model logic",
+    "DET106": "fs-order: unsorted filesystem enumeration",
+}
+
+# Packages (top-level directories under repro/) where event scheduling
+# and report serialization live; DET103/DET105 apply only here.
+ORDER_SENSITIVE_PACKAGES = frozenset({"sim", "cluster", "faults"})
+
+# Wall-clock reads are the whole point of benchmarking code.
+WALL_CLOCK_EXEMPT_PACKAGES = frozenset({"bench"})
+
+_GLOBAL_RNG_FNS = frozenset({
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "expovariate", "gauss", "normalvariate",
+    "betavariate", "gammavariate", "lognormvariate", "vonmisesvariate",
+    "paretovariate", "weibullvariate", "triangular", "getrandbits",
+    "randbytes", "seed",
+})
+
+_WALL_CLOCK_FNS = frozenset({
+    "time.time", "time.time_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.process_time", "time.process_time_ns",
+    "datetime.now", "datetime.utcnow", "datetime.today",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.date.today",
+})
+
+_FS_ENUM_FNS = frozenset({
+    "os.listdir", "os.scandir", "os.walk",
+    "glob.glob", "glob.iglob",
+})
+_FS_ENUM_METHODS = frozenset({"iterdir", "glob", "rglob"})
+
+# Reducers whose result does not depend on input order; a producer (or
+# a generator expression over one) consumed directly by these is safe.
+_ORDER_INSENSITIVE = frozenset({
+    "sorted", "sum", "min", "max", "any", "all", "len",
+    "set", "frozenset",
+})
+
+# Calls that materialize an ordered sequence: feeding them an
+# unordered producer bakes the nondeterministic order in.
+_ORDERED_MATERIALIZERS = frozenset({"list", "tuple", "dict"})
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str           # posix path relative to the linted root
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass(frozen=True)
+class AllowlistEntry:
+    rule: str
+    path: str                   # suffix-matched, posix
+    line: Optional[int]         # None: whole file
+    reason: str
+
+    def matches(self, finding: Finding) -> bool:
+        if self.rule != finding.rule:
+            return False
+        if self.line is not None and self.line != finding.line:
+            return False
+        return (finding.path == self.path
+                or finding.path.endswith("/" + self.path))
+
+
+def parse_allowlist(text: str) -> list[AllowlistEntry]:
+    """Parse ``RULE path[:line] -- reason`` lines; '#' comments."""
+    entries = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        head, _, reason = line.partition("--")
+        parts = head.split()
+        if len(parts) != 2 or parts[0] not in RULES:
+            raise ValueError(
+                f"allowlist line {lineno}: expected "
+                f"'RULE path[:line] -- reason', got {raw!r}")
+        rule, where = parts
+        path, _, line_part = where.partition(":")
+        entry_line = int(line_part) if line_part else None
+        entries.append(AllowlistEntry(rule=rule, path=path,
+                                      line=entry_line,
+                                      reason=reason.strip()))
+    return entries
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class _FileLinter:
+    """Lint one parsed module."""
+
+    def __init__(self, tree: ast.Module, relpath: str):
+        self.tree = tree
+        self.relpath = relpath
+        top = relpath.split("/", 1)[0]
+        self.order_sensitive = top in ORDER_SENSITIVE_PACKAGES
+        self.wall_clock_exempt = top in WALL_CLOCK_EXEMPT_PACKAGES
+        self.findings: list[Finding] = []
+        self._parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+
+    def _flag(self, rule: str, node: ast.AST, message: str) -> None:
+        self.findings.append(Finding(
+            rule=rule, path=self.relpath, line=node.lineno,
+            col=node.col_offset + 1, message=message))
+
+    def run(self) -> list[Finding]:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Call):
+                self._check_call(node)
+            self._check_unordered_producer(node)
+        return self.findings
+
+    # -- call-shaped rules --------------------------------------------------
+
+    def _check_call(self, node: ast.Call) -> None:
+        dotted = _dotted(node.func)
+        # DET101: module-global RNG, or unseeded Random().
+        if dotted is not None and "." in dotted:
+            base, _, attr = dotted.rpartition(".")
+            if base == "random" and attr in _GLOBAL_RNG_FNS:
+                self._flag("DET101", node,
+                           f"call to the process-global RNG "
+                           f"'random.{attr}'; use a seeded "
+                           f"random.Random instance")
+        if dotted in ("Random", "random.Random") and not node.args:
+            self._flag("DET101", node,
+                       "Random() without a seed draws from OS entropy")
+        # DET102: wall clocks.
+        if (dotted in _WALL_CLOCK_FNS
+                and not self.wall_clock_exempt):
+            self._flag("DET102", node,
+                       f"wall-clock read '{dotted}()'; simulated time "
+                       f"(sim.now) is the only clock model code may "
+                       f"read")
+        # DET104: identity and salted hashes.
+        if isinstance(node.func, ast.Name) and node.func.id in ("id",
+                                                                "hash"):
+            self._flag("DET104", node,
+                       f"'{node.func.id}()' is per-process state "
+                       f"(address / salted hash); derive keys from "
+                       f"content instead")
+        # DET105: host environment reads in model logic.
+        if self.order_sensitive and dotted in ("os.cpu_count",
+                                               "os.getenv",
+                                               "os.environ.get"):
+            self._flag("DET105", node,
+                       f"'{dotted}()' read inside order-sensitive "
+                       f"model code; thread configuration in "
+                       f"explicitly")
+        # DET106: filesystem enumeration.
+        if dotted in _FS_ENUM_FNS and not self._safely_consumed(node):
+            self._flag("DET106", node,
+                       f"'{dotted}()' order is platform noise; wrap "
+                       f"in sorted()")
+        if (isinstance(node.func, ast.Attribute)
+                and node.func.attr in _FS_ENUM_METHODS
+                and _dotted(node.func.value) not in ("glob",)
+                and not self._safely_consumed(node)):
+            self._flag("DET106", node,
+                       f"'.{node.func.attr}()' enumeration order is "
+                       f"platform noise; wrap in sorted()")
+
+    def _check_env_subscript(self, node: ast.Subscript) -> None:
+        if self.order_sensitive and _dotted(node.value) == "os.environ":
+            self._flag("DET105", node,
+                       "'os.environ[...]' read inside order-sensitive "
+                       "model code; thread configuration in explicitly")
+
+    # -- DET103 -------------------------------------------------------------
+
+    def _unordered_producer(self, node: ast.AST) -> Optional[str]:
+        """A description if ``node`` yields unordered elements."""
+        if isinstance(node, ast.Call):
+            if (isinstance(node.func, ast.Attribute)
+                    and node.func.attr in ("items", "values", "keys")
+                    and not node.args and not node.keywords):
+                return f".{node.func.attr}()"
+            if (isinstance(node.func, ast.Name)
+                    and node.func.id in ("set", "frozenset")):
+                return f"{node.func.id}()"
+        if isinstance(node, ast.Set):
+            return "set literal"
+        if isinstance(node, ast.SetComp):
+            return "set comprehension"
+        return None
+
+    def _safely_consumed(self, node: ast.AST) -> bool:
+        """Is ``node`` a direct argument of an order-insensitive
+        reducer (``sorted(d.items())``, ``sum(s)``, ...)?"""
+        parent = self._parents.get(node)
+        return (isinstance(parent, ast.Call)
+                and isinstance(parent.func, ast.Name)
+                and parent.func.id in _ORDER_INSENSITIVE
+                and node in parent.args)
+
+    def _comprehension_consumer_safe(self, comp: ast.AST) -> bool:
+        """A generator/list comprehension over an unordered producer
+        is safe when the comprehension itself is fed to an
+        order-insensitive reducer -- ``sum(x for x in d.values())``."""
+        return self._safely_consumed(comp)
+
+    def _check_unordered_producer(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Subscript):
+            self._check_env_subscript(node)
+        if not self.order_sensitive:
+            return
+        reason = self._unordered_producer(node)
+        if reason is None or self._safely_consumed(node):
+            return
+        parent = self._parents.get(node)
+        # for x in d.items(): ...
+        if isinstance(parent, ast.For) and parent.iter is node:
+            self._flag("DET103", node,
+                       f"iteration over {reason} without sorted(); "
+                       f"order leaks into event/report order")
+            return
+        # [.. for x in d.items()] / {..} / (..)
+        if isinstance(parent, ast.comprehension) and parent.iter is node:
+            comp = self._parents.get(parent)
+            if isinstance(comp, ast.SetComp):
+                return      # set output: order cannot leak further here
+            if isinstance(comp, ast.GeneratorExp) \
+                    and self._comprehension_consumer_safe(comp):
+                return
+            if isinstance(comp, (ast.ListComp, ast.DictComp)) \
+                    and self._comprehension_consumer_safe(comp):
+                return
+            self._flag("DET103", node,
+                       f"comprehension over {reason} without sorted(); "
+                       f"order leaks into the materialized result")
+            return
+        # list(d.values()) / tuple(...) / dict(...)
+        if (isinstance(parent, ast.Call)
+                and isinstance(parent.func, ast.Name)
+                and parent.func.id in _ORDERED_MATERIALIZERS
+                and node in parent.args):
+            self._flag("DET103", node,
+                       f"{parent.func.id}() over {reason} without "
+                       f"sorted(); order leaks into the materialized "
+                       f"result")
+
+
+def lint_source(source: str, relpath: str) -> list[Finding]:
+    """Lint one module's source as if it lived at ``relpath``
+    (posix, relative to the ``repro`` package root)."""
+    tree = ast.parse(source, filename=relpath)
+    return _FileLinter(tree, relpath).run()
+
+
+def default_root() -> Path:
+    """The installed ``repro`` package directory."""
+    return Path(__file__).resolve().parent.parent
+
+
+def default_allowlist_path() -> Path:
+    return Path(__file__).resolve().parent / "allowlist.txt"
+
+
+@dataclass
+class LintResult:
+    findings: list[Finding]
+    checked_files: int
+    allowlisted: int
+    unused_allowlist: list[AllowlistEntry]
+
+
+def lint_tree(root: Optional[Path] = None,
+              allowlist: Optional[list[AllowlistEntry]] = None,
+              ) -> LintResult:
+    """Lint every ``*.py`` under ``root`` (default: the repro
+    package), filtering findings through the allowlist."""
+    root = (default_root() if root is None else root).resolve()
+    if allowlist is None:
+        path = default_allowlist_path()
+        allowlist = (parse_allowlist(path.read_text())
+                     if path.exists() else [])
+    findings: list[Finding] = []
+    checked = 0
+    for path in sorted(root.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        checked += 1
+        relpath = path.relative_to(root).as_posix()
+        findings.extend(lint_source(path.read_text(), relpath))
+    kept: list[Finding] = []
+    used: set[AllowlistEntry] = set()
+    allowlisted = 0
+    for finding in findings:
+        entry = next((e for e in allowlist if e.matches(finding)), None)
+        if entry is None:
+            kept.append(finding)
+        else:
+            used.add(entry)
+            allowlisted += 1
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return LintResult(
+        findings=kept, checked_files=checked, allowlisted=allowlisted,
+        unused_allowlist=[e for e in allowlist if e not in used])
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="determinism linter for the simulation tree")
+    parser.add_argument("--root", default=None,
+                        help="directory to lint (default: the "
+                             "installed repro package)")
+    parser.add_argument("--allowlist", default=None,
+                        help="audited-exception file (default: "
+                             "repro/analysis/allowlist.txt)")
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable output")
+    args = parser.parse_args(argv)
+
+    allowlist = None
+    if args.allowlist is not None:
+        allowlist = parse_allowlist(Path(args.allowlist).read_text())
+    result = lint_tree(
+        root=Path(args.root) if args.root else None,
+        allowlist=allowlist)
+
+    if args.json:
+        print(json.dumps({
+            "checked_files": result.checked_files,
+            "allowlisted": result.allowlisted,
+            "findings": [asdict(f) for f in result.findings],
+            "unused_allowlist": [asdict(e)
+                                 for e in result.unused_allowlist],
+        }, indent=2, sort_keys=True))
+    else:
+        for finding in result.findings:
+            print(finding.render())
+        for entry in result.unused_allowlist:
+            print(f"note: unused allowlist entry {entry.rule} "
+                  f"{entry.path}" + (f":{entry.line}" if entry.line
+                                     else ""))
+        print(f"{result.checked_files} files checked, "
+              f"{len(result.findings)} finding(s), "
+              f"{result.allowlisted} allowlisted")
+    return 1 if result.findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
+
+
+__all__ = ["Finding", "AllowlistEntry", "LintResult", "RULES",
+           "lint_source", "lint_tree", "parse_allowlist", "main"]

@@ -57,7 +57,7 @@ def compare_cross_domain(machine: MachineSpec, buffer_bytes: int,
         allocator.register_path(1, domains)
         npages = -(-buffer_bytes // machine.page_size)
 
-        def rig() -> Generator[Any, Any, None]:
+        def rig(recycle=recycle) -> Generator[Any, Any, None]:
             for _ in range(n_buffers):
                 fbuf, _cached = allocator.allocate(1, npages)
                 yield from allocator.traverse_path(fbuf, 1)

@@ -5,7 +5,7 @@ comparable to -- and in fact, a bit better than -- those obtained when
 using the machines' Ethernet adaptors under otherwise identical
 conditions.'  This model reproduces that comparison point: a
 conventional 10 Mbps Ethernet with a copying driver and one interrupt
-per frame.  Short-message latency lands in the same few-hundred-µs
+per frame.  Short-message latency lands in the same few-hundred-us
 band as OSIRIS (it is dominated by the same host software), while
 anything sizable is crushed by 10 Mbps serialization.
 
@@ -31,7 +31,7 @@ MTU_BYTES = 1500
 
 @dataclass(frozen=True)
 class EthernetCosts:
-    """Per-direction driver costs (µs), besides the host's own
+    """Per-direction driver costs (us), besides the host's own
     interrupt service and copy rates from its SoftwareCosts."""
 
     tx_setup: float = 30.0      # ring descriptor + device registers

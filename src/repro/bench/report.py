@@ -59,7 +59,7 @@ def _sketch(xs: Sequence, series: Mapping[str, Sequence[float]],
     top = max(all_values) * 1.05
     grid = [[" "] * width for _ in range(height)]
     n = max(len(xs) - 1, 1)
-    for si, (name, values) in enumerate(series.items()):
+    for si, (_name, values) in enumerate(series.items()):
         for i, v in enumerate(values):
             if v != v:
                 continue

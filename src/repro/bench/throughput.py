@@ -88,11 +88,11 @@ def _sweep_receive(title: str, machine: MachineSpec, configs: dict,
 def run_figure2(sizes_kb=FIGURE_SIZES_KB) -> FigureResult:
     """DEC 5000/200 UDP/IP/OSIRIS receive-side throughput."""
     configs = {
-        "double cell DMA": dict(dma_mode=DmaMode.DOUBLE_CELL),
-        "single cell DMA": dict(dma_mode=DmaMode.SINGLE_CELL),
-        "single cell DMA, cache invalidated": dict(
-            dma_mode=DmaMode.SINGLE_CELL,
-            cache_policy=CachePolicyKind.EAGER),
+        "double cell DMA": {"dma_mode": DmaMode.DOUBLE_CELL},
+        "single cell DMA": {"dma_mode": DmaMode.SINGLE_CELL},
+        "single cell DMA, cache invalidated": {
+            "dma_mode": DmaMode.SINGLE_CELL,
+            "cache_policy": CachePolicyKind.EAGER},
     }
     return _sweep_receive(
         "Figure 2: DEC 5000/200 UDP/IP/OSIRIS receive-side throughput",
@@ -102,12 +102,12 @@ def run_figure2(sizes_kb=FIGURE_SIZES_KB) -> FigureResult:
 def run_figure3(sizes_kb=FIGURE_SIZES_KB) -> FigureResult:
     """DEC 3000/600 UDP/IP/OSIRIS receive-side throughput."""
     configs = {
-        "double cell DMA": dict(dma_mode=DmaMode.DOUBLE_CELL),
-        "double cell DMA, UDP-CS": dict(dma_mode=DmaMode.DOUBLE_CELL,
-                                        udp_checksum=True),
-        "single cell DMA": dict(dma_mode=DmaMode.SINGLE_CELL),
-        "single cell DMA, UDP-CS": dict(dma_mode=DmaMode.SINGLE_CELL,
-                                        udp_checksum=True),
+        "double cell DMA": {"dma_mode": DmaMode.DOUBLE_CELL},
+        "double cell DMA, UDP-CS": {"dma_mode": DmaMode.DOUBLE_CELL,
+                                    "udp_checksum": True},
+        "single cell DMA": {"dma_mode": DmaMode.SINGLE_CELL},
+        "single cell DMA, UDP-CS": {"dma_mode": DmaMode.SINGLE_CELL,
+                                    "udp_checksum": True},
     }
     return _sweep_receive(
         "Figure 3: DEC 3000/600 UDP/IP/OSIRIS receive-side throughput",
@@ -121,9 +121,9 @@ def run_figure4(sizes_kb=FIGURE_SIZES_KB) -> FigureResult:
         title="Figure 4: UDP/IP/OSIRIS transmit-side throughput",
         sizes_kb=tuple(sizes_kb))
     configs = {
-        "3000/600": (DEC3000_600, dict()),
-        "3000/600, UDP-CS": (DEC3000_600, dict(udp_checksum=True)),
-        "5000/200": (DS5000_200, dict()),
+        "3000/600": (DEC3000_600, {}),
+        "3000/600, UDP-CS": (DEC3000_600, {"udp_checksum": True}),
+        "5000/200": (DS5000_200, {}),
     }
     for name, (machine, kwargs) in configs.items():
         points = []

@@ -43,7 +43,8 @@ def _machine(name: str) -> MachineSpec:
         return _MACHINES[name.lower()]
     except KeyError:
         raise SystemExit(
-            f"unknown machine {name!r}; choose from {sorted(_MACHINES)}")
+            f"unknown machine {name!r}; choose from "
+            f"{sorted(_MACHINES)}") from None
 
 
 def _sizes(args) -> tuple:
@@ -96,23 +97,27 @@ def _cmd_cluster(args) -> None:
     segment = (SegmentMode.SEQUENCE if args.segment == "sequence"
                else SegmentMode.IN_ORDER)
 
-    fabric_kwargs = dict(
-        machines=_machine(args.machine), n_hosts=args.hosts,
-        n_switches=args.switches, segment_mode=segment,
-        backpressure=args.backpressure,
-        credit_window_cells=args.window,
-        drain_policy=args.drain)
+    fabric_kwargs = {
+        "machines": _machine(args.machine), "n_hosts": args.hosts,
+        "n_switches": args.switches, "segment_mode": segment,
+        "backpressure": args.backpressure,
+        "credit_window_cells": args.window,
+        "drain_policy": args.drain}
     if args.faults:
         from .faults import FaultPlan
         try:
             fabric_kwargs["faults"] = FaultPlan.parse(
                 args.faults, seed=args.seed)
         except ValueError as exc:
-            raise SystemExit(f"cluster: {exc}")
+            raise SystemExit(f"cluster: {exc}") from None
     if args.regen_timeout is not None:
         fabric_kwargs["credit_regen_timeout_us"] = args.regen_timeout
     if args.watchdog is not None:
         fabric_kwargs["credit_watchdog_us"] = args.watchdog
+
+    if args.sanitize:
+        from .analysis import sanitize as sanitize_mod
+        sanitize_mod.enable()
 
     def make_fabric() -> Fabric:
         return Fabric(**fabric_kwargs)
@@ -132,7 +137,7 @@ def _cmd_cluster(args) -> None:
             from .cluster.sharded import run_cluster_sharded
             report, _run = run_cluster_sharded(
                 fabric_kwargs, spec, args.shards,
-                backend=args.shard_backend)
+                backend=args.shard_backend, sanitize=args.sanitize)
             print(report.to_json() if args.json else report.render())
             return
         if args.sweep:
@@ -157,7 +162,7 @@ def _cmd_cluster(args) -> None:
             return
         fabric = make_fabric()
     except SimulationError as exc:
-        raise SystemExit(f"cluster: {exc}")
+        raise SystemExit(f"cluster: {exc}") from None
     result = run_workload(fabric, spec)
     report = collect(fabric, result)
     print(report.to_json() if args.json else report.render())
@@ -172,7 +177,22 @@ def _cmd_chaos(args) -> None:
         argv.append("--quick")
     if args.json:
         argv.append("--json")
+    if args.sanitize:
+        argv.append("--sanitize")
     raise SystemExit(chaos_main(argv))
+
+
+def _cmd_lint(args) -> None:
+    from .analysis.lint import main as lint_main
+
+    argv = []
+    if args.root:
+        argv += ["--root", args.root]
+    if args.allowlist:
+        argv += ["--allowlist", args.allowlist]
+    if args.json:
+        argv.append("--json")
+    raise SystemExit(lint_main(argv))
 
 
 def _cmd_latency(args) -> None:
@@ -289,6 +309,11 @@ def build_parser() -> argparse.ArgumentParser:
                               "when a flow is stalled this long with "
                               "zero refills")
     cluster.add_argument("--seed", type=int, default=1)
+    cluster.add_argument("--sanitize", action="store_true",
+                         help="enable the runtime sanitizers (SRSW "
+                              "queue ownership, monotone time, "
+                              "per-window conservation); the report "
+                              "stays byte-identical")
     cluster.add_argument("--json", action="store_true",
                          help="machine-readable JSON report")
     cluster.set_defaults(func=_cmd_cluster)
@@ -302,8 +327,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated shard counts to compare")
     chaos.add_argument("--backend", default="thread",
                        choices=("proc", "thread", "inline"))
+    chaos.add_argument("--sanitize", action="store_true",
+                       help="run the matrix with the runtime "
+                            "sanitizers enabled")
     chaos.add_argument("--json", action="store_true")
     chaos.set_defaults(func=_cmd_chaos)
+
+    lint = sub.add_parser(
+        "lint", help="determinism linter: flag nondeterminism hazards "
+                     "in the simulation tree")
+    lint.add_argument("--root", default=None,
+                      help="directory to lint (default: the installed "
+                           "repro package)")
+    lint.add_argument("--allowlist", default=None,
+                      help="audited-exception file (default: "
+                           "repro/analysis/allowlist.txt)")
+    lint.add_argument("--json", action="store_true",
+                      help="machine-readable findings")
+    lint.set_defaults(func=_cmd_lint)
 
     for name, fn in (("latency", _cmd_latency),
                      ("receive", _cmd_receive),

@@ -239,7 +239,8 @@ class CreditGate:
                     "pauses": flow.pauses,
                     "regenerations": flow.regenerations,
                 }
-                for flow in self._flows.values()
+                for flow in sorted(self._flows.values(),
+                                   key=lambda f: f.vci)
             },
         }
 

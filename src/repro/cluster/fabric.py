@@ -705,7 +705,7 @@ class Fabric:
             stats["efci_pause_us"] = self.efci_pause_us
         stats["hosts"] = [
             {"name": host.name, **gate.stats()}
-            for host, gate in zip(self.hosts, self.gates)
+            for host, gate in zip(self.hosts, self.gates, strict=True)
             if host is not None
         ]
         return stats

@@ -154,7 +154,8 @@ class _ShardProgram:
             })
         gates = {}
         for i, (host, gate) in enumerate(zip(fabric.hosts,
-                                             fabric.gates)):
+                                             fabric.gates,
+                                             strict=False)):
             if host is not None and gate is not None:
                 gates[i] = {"name": host.name, **gate.stats()}
         return {
@@ -173,18 +174,49 @@ class _ShardProgram:
             "credit_cells_lost": fabric.credit_cells_lost,
             "fault_sites": {name: site.stats()
                             for name, site
-                            in fabric._fault_sites.items()},
+                            in sorted(fabric._fault_sites.items())},
             "isw_in_flight": fabric._isw_in_flight,
             "switches": switches,
             "gates": gates,
             "clients": [asdict(c) for c in self.clients],
         }
 
+    def probe(self) -> dict:
+        """Conservation counters for the window-boundary sanitizer.
+
+        Cheap, picklable, read-only -- safe to take at any barrier
+        (unlike :meth:`collect`, which finalizes clients).
+        """
+        fabric = self.fabric
+        return {
+            "uplink_cells_sent": sum(link.cells_sent
+                                     for link in fabric.uplinks),
+            "uplink_arrived": sum(fabric._uplink_arrived),
+            "delivered": sum(fabric._delivered),
+            "corrupted": sum(fabric._corrupted),
+            "uplink_fault_lost": sum(site.cells_lost
+                                     for site in fabric._uplink_sites),
+            "isw_in_flight": fabric._isw_in_flight,
+            "cross_injected": sum(sw.cross_cells_injected
+                                  for sw in fabric.switches),
+            "switch_queued": sum(sw.queued_cells()
+                                 for sw in fabric.switches),
+            "dropped": sum(sw.cells_dropped for sw in fabric.switches),
+            "switch_fault_lost": sum(sw.cells_lost_to_faults
+                                     for sw in fabric.switches),
+        }
+
 
 def _build_shard(index: int, n_shards: int, fabric_kwargs: dict,
-                 spec: WorkloadSpec) -> _ShardProgram:
+                 spec: WorkloadSpec,
+                 sanitize: bool = False) -> _ShardProgram:
     """Worker-side constructor (module-level so it crosses into a
     child process)."""
+    if sanitize:
+        # Enable in the worker itself: with the proc backend this runs
+        # in the child, where the parent's hooks do not exist.
+        from ..analysis import sanitize as _sanitize
+        _sanitize.enable()
     fabric = ShardFabric(index, n_shards, **fabric_kwargs)
     clients, finishers = setup_workload(fabric, spec)
     return _ShardProgram(fabric, clients, finishers)
@@ -336,22 +368,30 @@ def merge_partials(fabric_kwargs: dict, spec: WorkloadSpec,
 
 def run_cluster_sharded(
         fabric_kwargs: dict, spec: WorkloadSpec, n_shards: int,
-        backend: str = "proc",
+        backend: str = "proc", sanitize: bool = False,
 ) -> tuple[ClusterReport, ParallelRunResult]:
     """Run one cluster workload split across ``n_shards`` simulators.
 
     ``fabric_kwargs`` are exactly the keyword arguments a plain
     :class:`Fabric` would take (they must be picklable for the proc
     backend).  Returns the merged report plus the engine's run stats
-    (windows, total events) for benchmarking.
+    (windows, total events) for benchmarking.  ``sanitize`` enables
+    the runtime sanitizers inside every shard worker and re-checks
+    the conservation law at each window barrier.
     """
     if backend not in BACKENDS:
         raise SimulationError(
             f"unknown shard backend {backend!r}; choose from {BACKENDS}")
     window_us = fabric_kwargs.get("prop_delay_us", 2.0)
     factory = functools.partial(_build_shard, n_shards=n_shards,
-                                fabric_kwargs=fabric_kwargs, spec=spec)
-    run = run_shards(factory, n_shards, window_us, backend=backend)
+                                fabric_kwargs=fabric_kwargs, spec=spec,
+                                sanitize=sanitize)
+    window_probe = None
+    if sanitize:
+        from ..analysis.sanitize import check_window_conservation
+        window_probe = check_window_conservation
+    run = run_shards(factory, n_shards, window_us, backend=backend,
+                     window_probe=window_probe)
     report = merge_partials(fabric_kwargs, spec, run.partials,
                             run.t_end)
     return report, run

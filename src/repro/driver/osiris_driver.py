@@ -409,7 +409,7 @@ class OsirisDriver:
             return max(total - 8, 0)
         last = descs[-1]
         trailer_addr = last.addr + last.length - 8
-        for attempt in range(2):
+        for _attempt in range(2):
             raw = self.kernel.cache.read(trailer_addr, 8)
             length, _crc = _TRAILER.unpack(raw)
             pad = total - 8 - length

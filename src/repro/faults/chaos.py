@@ -40,8 +40,8 @@ def build_scenarios(seed: int = 1, quick: bool = True) -> list[dict]:
     size = 2048 if quick else 8192
 
     def kwargs(**extra) -> dict:
-        base = dict(machines=DS5000_200, n_hosts=4, n_switches=1,
-                    segment_mode=SegmentMode.SEQUENCE)
+        base = {"machines": DS5000_200, "n_hosts": 4, "n_switches": 1,
+                "segment_mode": SegmentMode.SEQUENCE}
         base.update(extra)
         return base
 
@@ -87,11 +87,15 @@ def build_scenarios(seed: int = 1, quick: bool = True) -> list[dict]:
 
 
 def run_scenario(scenario: dict, shard_counts: tuple[int, ...] = (1, 2),
-                 backend: str = "thread") -> dict:
+                 backend: str = "thread", sanitize: bool = False) -> dict:
     """Run one scenario at every shard count and check the invariants.
     Returns a result dict with ``ok`` and a list of ``failures``."""
     from ..cluster import Fabric, collect, run_workload
     from ..cluster.sharded import run_cluster_sharded
+
+    if sanitize:
+        from ..analysis import sanitize as _sanitize
+        _sanitize.enable()
 
     failures: list[str] = []
     reports = {}
@@ -103,7 +107,7 @@ def run_scenario(scenario: dict, shard_counts: tuple[int, ...] = (1, 2),
         else:
             reports[k], _run = run_cluster_sharded(
                 scenario["fabric_kwargs"], scenario["spec"], k,
-                backend=backend)
+                backend=backend, sanitize=sanitize)
 
     base = shard_counts[0]
     base_json = reports[base].to_json()
@@ -143,8 +147,10 @@ def run_scenario(scenario: dict, shard_counts: tuple[int, ...] = (1, 2),
 
 def run_matrix(seed: int = 1, quick: bool = True,
                shard_counts: tuple[int, ...] = (1, 2),
-               backend: str = "thread") -> list[dict]:
-    return [run_scenario(s, shard_counts=shard_counts, backend=backend)
+               backend: str = "thread",
+               sanitize: bool = False) -> list[dict]:
+    return [run_scenario(s, shard_counts=shard_counts, backend=backend,
+                         sanitize=sanitize)
             for s in build_scenarios(seed=seed, quick=quick)]
 
 
@@ -160,13 +166,16 @@ def main(argv: Optional[list[str]] = None) -> int:
                         help="comma-separated shard counts to compare")
     parser.add_argument("--backend", default="thread",
                         choices=("proc", "thread", "inline"))
+    parser.add_argument("--sanitize", action="store_true",
+                        help="enable the runtime sanitizers (SRSW, "
+                             "monotone time, per-window conservation)")
     parser.add_argument("--json", action="store_true")
     args = parser.parse_args(argv)
 
     shard_counts = tuple(int(k) for k in args.shards.split(","))
     results = run_matrix(seed=args.seed, quick=args.quick,
                          shard_counts=shard_counts,
-                         backend=args.backend)
+                         backend=args.backend, sanitize=args.sanitize)
     if args.json:
         from ..bench.report import to_json
         print(to_json({"seed": args.seed, "scenarios": results}))

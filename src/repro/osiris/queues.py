@@ -32,6 +32,12 @@ _HEAD_OFF = 0
 _TAIL_OFF = 4
 _ENTRIES_OFF = 8
 
+# Installed by repro.analysis.sanitize: called as
+# hook(queue, "head"|"tail", by_host) after every pointer store, so
+# the SRSW ownership discipline can be asserted without the queue
+# paying any cost when sanitizing is off.
+_POINTER_HOOK = None
+
 
 def queue_region_bytes(entries: int) -> int:
     """Dual-port bytes occupied by a queue with ``entries`` slots."""
@@ -144,6 +150,8 @@ class DescriptorQueue:
         for i, word in enumerate(desc.to_words()):
             self._write(entry + i * 4, word, writer)
         self._write(_HEAD_OFF, (head + 1) % self.size, writer)
+        if _POINTER_HOOK is not None:
+            _POINTER_HOOK(self, "head", writer)
         self.pushes += 1
         if was_empty:
             self.became_nonempty.fire(self)
@@ -171,6 +179,8 @@ class DescriptorQueue:
             self._read(entry + i * 4, reader)
             for i in range(WORDS_PER_DESCRIPTOR))
         self._write(_TAIL_OFF, (tail + 1) % self.size, reader)
+        if _POINTER_HOOK is not None:
+            _POINTER_HOOK(self, "tail", reader)
         self.pops += 1
         if was_full:
             self.became_nonfull.fire(self)

@@ -52,6 +52,20 @@ class SimulationError(RuntimeError):
     """Raised for misuse of the simulation engine."""
 
 
+# Installed by repro.analysis.sanitize: when set, every Simulator
+# constructed afterwards owns a sanitizer instance whose on_event /
+# window_begin / window_end hooks watch for monotone-time and
+# shard-horizon violations.  None (the default) costs one attribute
+# check per event.
+_sanitizer_factory: Optional[Callable[[], object]] = None
+
+
+def set_sanitizer_factory(factory: Optional[Callable[[], object]]) -> None:
+    """Install (or clear) the per-Simulator sanitizer factory."""
+    global _sanitizer_factory
+    _sanitizer_factory = factory
+
+
 class Timer:
     """Handle for a scheduled callback; supports cancellation."""
 
@@ -105,6 +119,8 @@ class Simulator:
         # Timestamp of the last event actually executed -- unlike
         # `now`, never advanced by run_until/advance_to clamping.
         self.last_event_time = 0.0
+        self.sanitizer = (_sanitizer_factory()
+                          if _sanitizer_factory is not None else None)
 
     @property
     def now(self) -> float:
@@ -168,6 +184,8 @@ class Simulator:
             self._now = time
             self.last_event_time = time
             self.events_processed += 1
+            if self.sanitizer is not None:
+                self.sanitizer.on_event(time)
             entry[2]()
             return True
         return False
@@ -216,6 +234,8 @@ class Simulator:
             raise SimulationError("simulator is already running")
         self._running = True
         executed = 0
+        if self.sanitizer is not None:
+            self.sanitizer.window_begin(horizon)
         try:
             while True:
                 nxt = self.peek()
@@ -224,6 +244,8 @@ class Simulator:
                 self.step()
                 executed += 1
         finally:
+            if self.sanitizer is not None:
+                self.sanitizer.window_end()
             self._running = False
         return executed
 
@@ -264,4 +286,5 @@ class Simulator:
             self._running = False
 
 
-__all__ = ["Simulator", "SimulationError", "Timer", "NO_KEY"]
+__all__ = ["Simulator", "SimulationError", "Timer", "NO_KEY",
+           "set_sanitizer_factory"]

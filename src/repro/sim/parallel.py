@@ -76,6 +76,8 @@ def _serve(factory: Callable, index: int, recv: Callable,
                       program.drain_outbox(),
                       program.sim.last_event_time,
                       program.sim.events_processed))
+            elif op == "probe":
+                send(("counters", program.probe()))
             elif op == "collect":
                 program.sim.advance_to(cmd[1])
                 send(("partial", program.collect(cmd[1])))
@@ -83,7 +85,7 @@ def _serve(factory: Callable, index: int, recv: Callable,
                 return
             else:
                 raise SimulationError(f"unknown shard command {op!r}")
-    except Exception:  # noqa: BLE001 - relayed to the coordinator
+    except Exception:  # every failure is relayed to the coordinator
         import traceback
         try:
             send(("error", index, traceback.format_exc()))
@@ -132,6 +134,8 @@ class _InlineChannel(_Channel):
                            program.drain_outbox(),
                            program.sim.last_event_time,
                            program.sim.events_processed)
+        elif op == "probe":
+            self._reply = ("counters", program.probe())
         elif op == "collect":
             program.sim.advance_to(cmd[1])
             self._reply = ("partial", program.collect(cmd[1]))
@@ -213,7 +217,9 @@ def _open_channels(factory: Callable, n_shards: int,
 # ---------------------------------------------------------------------------
 
 def run_shards(factory: Callable, n_shards: int, window_us: float,
-               backend: str = "proc") -> ParallelRunResult:
+               backend: str = "proc",
+               window_probe: Optional[Callable[[int, list], None]] = None,
+               ) -> ParallelRunResult:
     """Drive ``n_shards`` shard programs to global quiescence.
 
     ``factory(index)`` builds shard ``index``'s program; with the
@@ -221,6 +227,12 @@ def run_shards(factory: Callable, n_shards: int, window_us: float,
     closes over) must survive the journey into a worker process.
     ``window_us`` is the model's lookahead -- for the cluster fabric,
     the trunk propagation delay.
+
+    ``window_probe(window_index, counters)``, when given, is called at
+    every barrier with each shard's ``program.probe()`` result -- a
+    true global snapshot, since no shard is mid-event at a barrier.
+    The sanitizers use it to re-assert the conservation law every
+    window instead of only at quiescence.
     """
     if window_us <= 0.0:
         raise SimulationError(
@@ -296,6 +308,11 @@ def run_shards(factory: Callable, n_shards: int, window_us: float,
                 for dest, when, key, msg in outbox:
                     inboxes[dest].append((when, key, msg))
             windows += 1
+            if window_probe is not None:
+                for channel in channels:
+                    channel.send(("probe",))
+                window_probe(windows,
+                             [channel.recv()[1] for channel in channels])
 
         t_end = max(lasts)
         for channel in channels:

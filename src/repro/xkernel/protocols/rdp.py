@@ -4,7 +4,7 @@ The paper stresses that its approach is protocol-independent ('because
 the x-kernel supports arbitrary protocols ... it is not tailored to
 TCP/IP').  RDP exercises that claim: a go-back-N sliding-window
 protocol with cumulative acknowledgements and retransmission timers,
-assembled from the same Session machinery as UDP/IP — and it supplies
+assembled from the same Session machinery as UDP/IP -- and it supplies
 section 2.3's first condition ('mechanisms for detecting or tolerating
 transmission errors are already in place') for workloads that do not
 run UDP checksums.

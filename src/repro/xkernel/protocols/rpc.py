@@ -103,7 +103,7 @@ class RpcServer(Session):
         super().__init__(protocol, below)
         self.rpc: RpcProtocol = protocol
         self._handlers: dict[int, HandlerFn] = {}
-        # Handlers may declare a service cost charged per call (µs).
+        # Handlers may declare a service cost charged per call (us).
         self._service_us: dict[int, float] = {}
 
     def register(self, proc: int, handler: HandlerFn,

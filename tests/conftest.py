@@ -11,6 +11,20 @@ from repro.osiris import OsirisBoard
 from repro.sim import Fidelity, Simulator
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--sanitize", action="store_true", default=False,
+        help="run the whole suite with the repro.analysis.sanitize "
+             "runtime checks enabled (SRSW queue ownership, monotone "
+             "virtual time, shard horizons, window conservation)")
+
+
+def pytest_configure(config):
+    if config.getoption("--sanitize"):
+        from repro.analysis import sanitize
+        sanitize.enable()
+
+
 class BoardRig:
     """A simulator + host memory + one OSIRIS board, no OS."""
 

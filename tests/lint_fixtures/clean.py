@@ -1,0 +1,20 @@
+"""Fixture: determinism-clean module the linter must not flag.
+
+Linted under a synthetic ``cluster/`` path, so every DET103/DET105
+pattern here is in scope -- and correctly handled.
+"""
+
+import random
+
+
+def draws(seed: int) -> list:
+    rng = random.Random(seed)
+    return [rng.random() for _ in range(4)]
+
+
+def total(table: dict) -> int:
+    return sum(v for v in table.values())
+
+
+def ordered(table: dict) -> list:
+    return [key for key, _value in sorted(table.items())]

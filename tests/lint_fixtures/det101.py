@@ -1,0 +1,6 @@
+"""Fixture: DET101, the process-global RNG."""
+
+import random
+
+JITTER = random.random()
+UNSEEDED = random.Random()

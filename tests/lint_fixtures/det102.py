@@ -1,0 +1,7 @@
+"""Fixture: DET102, a wall-clock read outside bench/."""
+
+import time
+
+
+def stamp() -> float:
+    return time.perf_counter()

@@ -1,0 +1,12 @@
+"""Fixture: DET103, unordered iteration feeding an ordered result.
+
+Linted under a synthetic ``cluster/`` path; DET103 only applies
+inside the order-sensitive packages.
+"""
+
+
+def schedule(table: dict) -> list:
+    out = []
+    for vci, cell in table.items():
+        out.append((vci, cell))
+    return out

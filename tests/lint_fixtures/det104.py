@@ -1,0 +1,5 @@
+"""Fixture: DET104, an identity-derived key."""
+
+
+def key_for(obj) -> int:
+    return id(obj)

@@ -1,0 +1,11 @@
+"""Fixture: DET105, a host-environment read in model logic.
+
+Linted under a synthetic ``sim/`` path; DET105 only applies inside
+the order-sensitive packages.
+"""
+
+import os
+
+
+def shard_count() -> int:
+    return os.cpu_count() or 1

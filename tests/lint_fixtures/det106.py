@@ -1,0 +1,10 @@
+"""Fixture: DET106, unsorted filesystem enumeration."""
+
+import os
+
+
+def load_traces(path: str) -> list:
+    out = []
+    for name in os.listdir(path):
+        out.append(name)
+    return out

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.atm import (
-    BadCrc, BadLength, Cell, Reassembler, SegmentMode, cell_count,
+    Aal5Error, BadCrc, BadLength, Cell, Reassembler, SegmentMode, cell_count,
     crc32, decode_pdu, encode_pdu, framed_size, internet_checksum,
     segment, verify_internet_checksum,
 )
@@ -159,7 +159,7 @@ def test_reassembler_roundtrip():
 
 def test_reassembler_rejects_wrong_vci():
     reasm = Reassembler(vci=3)
-    with pytest.raises(Exception):
+    with pytest.raises(Aal5Error):
         reasm.push(Cell(vci=4, payload=b"x" * 44, eom=True))
 
 

@@ -87,7 +87,7 @@ def test_wire_image_matches_real_stack():
     built = udp_ip_message_pdus(20000, host.ip.mtu, src_port=9,
                                 dst_port=7, ident=1)
     stripped = []
-    for pdu, real in zip(built, sent):
+    for pdu, real in zip(built, sent, strict=True):
         # idents differ (the stack allocates its own); compare with the
         # ident and header checksum fields zeroed.
         a = bytearray(pdu)

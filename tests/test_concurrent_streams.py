@@ -66,7 +66,7 @@ def test_bidirectional_traffic():
 
     def talk(app, tag, count):
         def run():
-            for k in range(count):
+            for _ in range(count):
                 yield from app.send_message(bytes([tag]) * 1200)
                 yield Delay(50.0)
         return run()

@@ -34,7 +34,7 @@ def test_receive_path_fuzz(pdu_sizes, dma_double, seed):
     rng = random.Random(seed)
     pdus = [bytes([rng.randrange(256) for _ in range(min(size, 64))])
             * (size // min(size, 64) + 1) for size in pdu_sizes]
-    pdus = [p[:size] for p, size in zip(pdus, pdu_sizes)]
+    pdus = [p[:size] for p, size in zip(pdus, pdu_sizes, strict=True)]
 
     cells = []
     for pdu in pdus:
@@ -84,7 +84,8 @@ def test_multi_vci_receive_fuzz(streams, seed):
     # Merge preserving per-stream order (streams may interleave).
     merged = []
     cursors = [0] * len(per_stream_cells)
-    while any(c < len(s) for c, s in zip(cursors, per_stream_cells)):
+    while any(c < len(s) for c, s in zip(cursors, per_stream_cells,
+                                         strict=True)):
         candidates = [i for i, s in enumerate(per_stream_cells)
                       if cursors[i] < len(s)]
         pick = rng.choice(candidates)

@@ -140,7 +140,7 @@ def test_wiring_service_costs_differ():
         svc = WiringService(cpu, style)
         start = sim.now
 
-        def run(svc=svc, key=style):
+        def run(svc=svc, key=style, start=start):
             pages = yield from svc.wire(space, va, 4 * 4096)
             times[key] = (sim.now - start, pages)
             yield from svc.unwire(space, va, 4 * 4096)

@@ -31,7 +31,8 @@ def test_frame_allocation_is_scrambled(mem):
     # this is the fragmentation premise of section 2.2.
     addrs = [mem.alloc_frame() for _ in range(32)]
     adjacent = sum(
-        1 for a, b in zip(addrs, addrs[1:]) if b == a + mem.page_size)
+        1 for a, b in zip(addrs, addrs[1:], strict=False)
+        if b == a + mem.page_size)
     assert adjacent < 8
     assert len(set(addrs)) == 32
     for addr in addrs:

@@ -1,0 +1,97 @@
+"""Determinism-linter tests: every rule fires on its fixture at the
+expected line, the shipped tree lints clean, and the allowlist
+machinery behaves."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import (
+    AllowlistEntry, lint_source, lint_tree, parse_allowlist,
+)
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+
+# fixture file -> (synthetic relpath, expected rule, expected lines).
+# The relpath places scope-gated rules (DET103, DET105) inside the
+# order-sensitive packages.
+_CASES = {
+    "det101.py": ("faults/det101.py", "DET101", (5, 6)),
+    "det102.py": ("det102.py", "DET102", (7,)),
+    "det103.py": ("cluster/det103.py", "DET103", (10,)),
+    "det104.py": ("det104.py", "DET104", (5,)),
+    "det105.py": ("sim/det105.py", "DET105", (11,)),
+    "det106.py": ("det106.py", "DET106", (8,)),
+}
+
+
+@pytest.mark.parametrize("fixture", sorted(_CASES))
+def test_fixture_flags_rule_at_line(fixture):
+    relpath, rule, lines = _CASES[fixture]
+    findings = lint_source((FIXTURES / fixture).read_text(), relpath)
+    assert [f.rule for f in findings] == [rule] * len(lines)
+    assert tuple(f.line for f in findings) == lines
+    for finding in findings:
+        assert finding.path == relpath
+        assert finding.render().startswith(f"{relpath}:{finding.line}:")
+
+
+def test_clean_fixture_has_no_findings():
+    source = (FIXTURES / "clean.py").read_text()
+    assert lint_source(source, "cluster/clean.py") == []
+
+
+def test_scope_gating():
+    # The same source that fires DET103 inside cluster/ is silent in a
+    # package where iteration order cannot reach events or reports.
+    source = (FIXTURES / "det103.py").read_text()
+    assert lint_source(source, "xkernel/det103.py") == []
+    # And bench/ may read wall clocks.
+    source = (FIXTURES / "det102.py").read_text()
+    assert lint_source(source, "bench/det102.py") == []
+
+
+def test_order_insensitive_consumers_pass():
+    src = ("def f(d, s):\n"
+           "    a = sorted(d.items())\n"
+           "    b = sum(d.values())\n"
+           "    c = max(s)\n"
+           "    e = len({1, 2})\n"
+           "    return a, b, c, e\n")
+    assert lint_source(src, "cluster/x.py") == []
+
+
+def test_ordered_materializers_flagged():
+    src = "def f(d):\n    return list(d.values())\n"
+    findings = lint_source(src, "cluster/x.py")
+    assert [f.rule for f in findings] == ["DET103"]
+
+
+def test_shipped_tree_lints_clean():
+    result = lint_tree()
+    assert result.findings == []
+    assert result.unused_allowlist == []
+    assert result.checked_files > 50
+
+
+def test_allowlist_parsing_and_matching():
+    entries = parse_allowlist(
+        "# comment\n"
+        "\n"
+        "DET102 cli.py -- operator chrome\n"
+        "DET103 sim/core.py:164 -- heapify re-sorts\n")
+    assert entries == [
+        AllowlistEntry("DET102", "cli.py", None, "operator chrome"),
+        AllowlistEntry("DET103", "sim/core.py", 164,
+                       "heapify re-sorts"),
+    ]
+    src = "import time\nt = time.time()\n"
+    findings = lint_source(src, "cli.py")
+    assert [f.rule for f in findings] == ["DET102"]
+    assert entries[0].matches(findings[0])
+    assert not entries[1].matches(findings[0])
+
+
+def test_allowlist_rejects_garbage():
+    with pytest.raises(ValueError, match="allowlist line 1"):
+        parse_allowlist("DET999 nowhere.py -- bogus rule\n")

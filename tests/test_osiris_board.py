@@ -87,6 +87,6 @@ def test_kernel_channel_unrestricted(rig):
 
 def test_rx_fifo_drops_when_full(rig):
     from repro.atm import Cell
-    for i in range(rig.board.spec.fifo_cells + 5):
+    for _ in range(rig.board.spec.fifo_cells + 5):
         rig.board.deliver_cell(Cell(vci=1, payload=b""))
     assert rig.board.rx_fifo_drops == 5

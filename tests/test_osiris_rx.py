@@ -118,7 +118,7 @@ def test_spaced_pdus_interrupt_each_time_host_drains(rig):
 
     rig.board.irq.register_handler(handler)
     rxp = _setup(rig, buffers=32)
-    for k in range(3):
+    for _ in range(3):
         cells = segment(b"v" * 300, vci=5)
         _feed(rig, cells)
         rig.sim.run()

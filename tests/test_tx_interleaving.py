@@ -37,7 +37,8 @@ def test_interleaved_cells_alternate_between_channels(rig):
     # The first several cells must alternate VCIs, not run one PDU out.
     head = [c.vci for c in cells[:10]]
     assert 11 in head and 22 in head
-    transitions = sum(1 for x, y in zip(head, head[1:]) if x != y)
+    transitions = sum(1 for x, y in zip(head, head[1:], strict=False)
+                      if x != y)
     assert transitions >= 5
 
 
