@@ -1,0 +1,151 @@
+"""Topology benchmark: fabric events/sec plus queue-manager scaling.
+
+Two halves, one JSON document::
+
+    python benchmarks/bench_topology.py --out BENCH_topology.json
+
+* **Fabric runs** -- the same pairs workload over a Clos and a 3D
+  torus, reporting wall time and events/sec, with the conservation
+  law checked on every run.
+* **Queue-manager scaling** -- the :class:`repro.topology.queues.
+  ActiveQueueIndex` microbenchmark: fill a port with one cell on each
+  of V VCIs, then time the drain (``pop_rr``) and the push-out path
+  (``longest`` + ``drop_tail`` per admission) at V = 10^3, 10^4,
+  10^5.  The seed switch's dict scan made both O(V); the occupancy
+  index must hold the per-operation cost flat (within 2x across the
+  hundredfold VCI range), or ``flat_within_2x`` comes back false.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench.report import to_json                     # noqa: E402
+from repro.cluster import (                                # noqa: E402
+    Fabric, WorkloadSpec, collect, run_workload,
+)
+from repro.hw.specs import DS5000_200                      # noqa: E402
+from repro.topology import ActiveQueueIndex                # noqa: E402
+
+
+def _run_fabric(name: str, seed: int, **kw) -> dict:
+    spec = WorkloadSpec(pattern="pairs", kind="open", seed=seed,
+                        message_bytes=4096, messages_per_client=8)
+    start = time.perf_counter()
+    fabric = Fabric(machines=DS5000_200, **kw)
+    workload = run_workload(fabric, spec)
+    wall = time.perf_counter() - start
+    report = collect(fabric, workload)
+    events = fabric.sim.events_processed
+    print(f"{name:<18s} {wall:6.2f}s  {events:>8d} events  "
+          f"{events / wall:>9.0f} ev/s  "
+          f"conservation {'ok' if report.conservation['holds'] else 'BROKEN'}")
+    return {
+        "topology": name,
+        "n_hosts": kw["n_hosts"],
+        "n_switches": report.n_switches,
+        "wall_s": round(wall, 4),
+        "events": events,
+        "events_per_s": round(events / wall),
+        "conservation_holds": report.conservation["holds"],
+    }
+
+
+def _bench_queue_index(n_vcis: int, repeat: int = 3) -> dict:
+    """Per-operation cost of drain and push-out at ``n_vcis`` queues."""
+    drain_best = pushout_best = float("inf")
+    for _ in range(repeat):
+        index = ActiveQueueIndex()
+        for vci in range(n_vcis):
+            index.enqueue(vci, ("cell", vci))
+        start = time.perf_counter()
+        while index.pop_rr() is not None:
+            pass
+        drain_best = min(drain_best,
+                         (time.perf_counter() - start) / n_vcis)
+
+        # Push-out: a full port where every admission evicts the tail
+        # of the longest queue -- the path the seed scanned O(V) for.
+        index = ActiveQueueIndex()
+        for vci in range(n_vcis):
+            index.enqueue(vci, ("cell", vci))
+        index.enqueue(0, ("cell", -1))   # one queue strictly longest
+        ops = min(n_vcis, 10_000)
+        start = time.perf_counter()
+        for i in range(ops):
+            victim, _length = index.longest()
+            index.drop_tail(victim)
+            index.enqueue(victim, ("cell", i))
+        pushout_best = min(pushout_best,
+                           (time.perf_counter() - start) / ops)
+    return {
+        "vcis": n_vcis,
+        "drain_us_per_cell": round(drain_best * 1e6, 4),
+        "pushout_us_per_op": round(pushout_best * 1e6, 4),
+    }
+
+
+def run_benchmarks(args) -> dict:
+    fabrics = [
+        _run_fabric("clos", args.seed, n_hosts=8, topology="clos",
+                    pods=4, routing_seed=args.seed),
+        _run_fabric("torus", args.seed, n_hosts=8, topology="torus",
+                    torus_dims=(2, 2, 2), routing_seed=args.seed),
+        _run_fabric("switched", args.seed, n_hosts=8,
+                    topology="switched", n_switches=2,
+                    routing_seed=args.seed),
+    ]
+    if not all(p["conservation_holds"] for p in fabrics):
+        raise SystemExit("conservation broken -- numbers are "
+                         "meaningless")
+
+    scaling = [_bench_queue_index(v) for v in args.vcis]
+    for point in scaling:
+        print(f"vcis={point['vcis']:>7d}  "
+              f"drain {point['drain_us_per_cell']:>8.4f} us/cell  "
+              f"push-out {point['pushout_us_per_op']:>8.4f} us/op")
+    flat = True
+    for metric in ("drain_us_per_cell", "pushout_us_per_op"):
+        values = [p[metric] for p in scaling]
+        flat = flat and max(values) <= 2.0 * min(values)
+    print(f"per-op cost flat within 2x across "
+          f"{scaling[0]['vcis']}..{scaling[-1]['vcis']} VCIs: {flat}")
+
+    return {
+        "benchmark": "topology",
+        "cpu_count": os.cpu_count(),
+        "python": sys.version.split()[0],
+        "params": {"seed": args.seed, "vcis": list(args.vcis)},
+        "fabrics": fabrics,
+        "queue_index": {"points": scaling, "flat_within_2x": flat},
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="topology fabrics + O(1) queue-manager scaling")
+    parser.add_argument("--vcis", type=lambda s: [int(x) for x in
+                        s.split(",")], default=[1_000, 10_000, 100_000])
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--out", default=None,
+                        help="write canonical JSON here")
+    args = parser.parse_args(argv)
+
+    document = run_benchmarks(args)
+    payload = to_json(document)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(payload + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(payload)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,12 +40,12 @@ Congestion control (``backpressure``):
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Optional
 
 from ..hw.specs import ATM_CELL_BYTES, STRIPE_LINKS
 from ..sim import Delay, Signal, SimulationError, Simulator, spawn
+from ..topology.queues import ActiveQueueIndex
 from .cell import Cell
 from .link import OC3_MBPS
 
@@ -66,17 +66,21 @@ class _VciCounters:
 
 
 class _OutputPort:
-    """One output port: per-VCI queues drained at line rate."""
+    """One output port: per-VCI queues drained at line rate.
+
+    All queue state lives in an :class:`ActiveQueueIndex`, so drain,
+    FIFO service, and push-out-longest stay O(1) amortized however
+    many VCIs are live on the port -- the million-circuit requirement
+    the flat dict-scan design could not meet.  The incremental
+    longest-queue tracking applies under *both* drain policies, so a
+    full port never pays a per-VCI scan whichever scheduler runs.
+    """
 
     def __init__(self, sim: Simulator, name: str, drain_policy: str):
         self.name = name
         self.drain_policy = drain_policy
         self.work = Signal(f"{name}.work")
-        # VCI -> queued cells; insertion order is first-seen order.
-        self._queues: dict[int, deque] = {}
-        self._ring: deque = deque()   # VCIs eligible for rr drain
-        self._order: deque = deque()  # one VCI entry per cell (fifo)
-        self.depth = 0                # total cells queued
+        self.index = ActiveQueueIndex()
         self.cells_enqueued = 0
         self.cells_forwarded = 0
         self.cells_pushed_out = 0
@@ -87,6 +91,11 @@ class _OutputPort:
         # its backlog is allowed to drain.
         self.fault_dead = False
         self.lost_to_faults = 0
+
+    @property
+    def depth(self) -> int:
+        """Total cells queued on this port."""
+        return self.index.depth
 
     @property
     def cells_held(self) -> int:
@@ -102,63 +111,40 @@ class _OutputPort:
         return counters
 
     def enqueue(self, cell: Cell) -> None:
-        queue = self._queues.get(cell.vci)
-        if queue is None:
-            queue = self._queues[cell.vci] = deque()
-        if self.drain_policy == "rr":
-            if not queue:
-                self._ring.append(cell.vci)
-        else:
-            self._order.append(cell.vci)
-        queue.append(cell)
-        self.depth += 1
+        backlog = self.index.enqueue(cell.vci, cell,
+                                     fifo=self.drain_policy != "rr")
         self.cells_enqueued += 1
-        self.max_queue_seen = max(self.max_queue_seen, self.depth)
+        self.max_queue_seen = max(self.max_queue_seen, self.index.depth)
         counters = self._counters(cell.vci)
         counters.enqueued += 1
-        counters.max_depth = max(counters.max_depth, len(queue))
+        counters.max_depth = max(counters.max_depth, backlog)
         self.work.fire()
 
     def pop_next(self) -> Optional[Cell]:
         """Next cell under the drain policy, or None when idle."""
-        if self.drain_policy == "rr":
-            if not self._ring:
-                return None
-            vci = self._ring.popleft()
-            queue = self._queues[vci]
-            cell = queue.popleft()
-            if queue:
-                self._ring.append(vci)  # rotate to the back
-        else:
-            if not self._order:
-                return None
-            vci = self._order.popleft()
-            cell = self._queues[vci].popleft()
-        self.depth -= 1
-        return cell
+        popped = (self.index.pop_rr() if self.drain_policy == "rr"
+                  else self.index.pop_fifo())
+        if popped is None:
+            return None
+        return popped[1]
 
     def push_out_longest(self, arriving_vci: int) -> Optional[int]:
         """Make room for ``arriving_vci`` by dropping the tail of the
         longest per-VCI backlog (fair buffer sharing).  Returns the
         victim VCI, or None when the arrival itself has the longest
-        backlog and should be dropped instead."""
-        longest_vci, longest_len = None, 0
-        for vci, queue in self._queues.items():
-            if len(queue) > longest_len:
-                longest_vci, longest_len = vci, len(queue)
-        arriving_queue = self._queues.get(arriving_vci)
-        arriving_len = len(arriving_queue) if arriving_queue else 0
-        if longest_vci is None or longest_len <= arriving_len:
+        backlog and should be dropped instead.  O(1): the occupancy
+        index tracks the longest queue incrementally."""
+        longest = self.index.longest()
+        if longest is None:
             return None
-        queue = self._queues[longest_vci]
-        queue.pop()
-        if not queue:
-            self._ring.remove(longest_vci)
-        self.depth -= 1
+        victim, backlog = longest
+        if backlog <= self.index.queue_len(arriving_vci):
+            return None
+        self.index.drop_tail(victim)
         self.cells_pushed_out += 1
         self.dropped_queue_full += 1
-        self._counters(longest_vci).dropped += 1
-        return longest_vci
+        self._counters(victim).dropped += 1
+        return victim
 
     def note_arrival_drop(self, vci: int) -> None:
         self.dropped_queue_full += 1

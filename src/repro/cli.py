@@ -97,17 +97,43 @@ def _cmd_cluster(args) -> None:
     segment = (SegmentMode.SEQUENCE if args.segment == "sequence"
                else SegmentMode.IN_ORDER)
 
+    torus_dims = None
+    if args.dims:
+        try:
+            torus_dims = tuple(int(d) for d in args.dims.split(","))
+        except ValueError:
+            raise SystemExit(
+                f"cluster: bad --dims {args.dims!r} "
+                "(want X,Y,Z)") from None
+
     fabric_kwargs = {
         "machines": _machine(args.machine), "n_hosts": args.hosts,
         "n_switches": args.switches, "segment_mode": segment,
+        "topology": args.topology, "pods": args.pods,
+        "torus_dims": torus_dims, "oversubscription": args.oversub,
+        "routing_seed": args.seed,
         "backpressure": args.backpressure,
         "credit_window_cells": args.window,
         "drain_policy": args.drain}
     if args.faults:
         from .faults import FaultPlan
+        # Port kills may name switches by topology coordinate
+        # (port=leaf0:... / port=t0.1.1:...); resolve against the same
+        # spec the fabric will build.
+        switch_names = None
+        if args.topology != "direct":
+            from .topology import build_spec
+            try:
+                switch_names = build_spec(
+                    args.topology, args.hosts,
+                    n_switches=args.switches, pods=args.pods,
+                    dims=torus_dims,
+                    oversubscription=args.oversub).name_table()
+            except SimulationError as exc:
+                raise SystemExit(f"cluster: {exc}") from None
         try:
             fabric_kwargs["faults"] = FaultPlan.parse(
-                args.faults, seed=args.seed)
+                args.faults, seed=args.seed, switch_names=switch_names)
         except ValueError as exc:
             raise SystemExit(f"cluster: {exc}") from None
     if args.regen_timeout is not None:
@@ -254,8 +280,22 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=("open", "rpc"),
                          help="open-loop senders or closed-loop RPC mix")
     cluster.add_argument("--machine", default="ds", help="ds | alpha")
+    cluster.add_argument("--topology", default="switched",
+                         choices=("direct", "switched", "clos", "torus"),
+                         help="fabric shape: two hosts back-to-back, a "
+                              "flat full mesh of --switches, a "
+                              "leaf/spine Clos, or a 3D torus")
     cluster.add_argument("--switches", type=int, default=1,
-                         help="cell switches (hosts spread round-robin)")
+                         help="cell switches for --topology switched "
+                              "(hosts spread round-robin)")
+    cluster.add_argument("--pods", type=int, default=4,
+                         help="leaf switches for --topology clos")
+    cluster.add_argument("--oversub", type=float, default=2.0,
+                         help="Clos oversubscription ratio "
+                              "(leaves : spines)")
+    cluster.add_argument("--dims", default=None, metavar="X,Y,Z",
+                         help="torus dimensions for --topology torus "
+                              "(default 2,2,2)")
     cluster.add_argument("--size", type=int, default=4096,
                          help="message size in bytes (open-loop)")
     cluster.add_argument("--messages", type=int, default=8,

@@ -4,8 +4,13 @@ The paper measures two workstations back-to-back; everything larger
 was left to the network.  This module supplies that network: a
 :class:`Fabric` instantiates N complete hosts and wires each host's
 four-way striped uplink into an output-queued :class:`CellSwitch`
-(or several, full-meshed by inter-switch trunks), with a fabric-wide
-VCI allocation and routing manager on top.
+fabric described by a declarative :class:`~repro.topology.
+TopologySpec` -- a flat full mesh (``topology="switched"``), a
+leaf/spine Clos (``"clos"``), or a 3D torus (``"torus"``) -- with a
+fabric-wide VCI allocation and ECMP routing manager on top.  Transit
+paths may cross any number of switches; routes are installed hop by
+hop along a deterministic content-hashed equal-cost path (see
+:mod:`repro.topology.routing`).
 
 Topology per host::
 
@@ -73,6 +78,7 @@ from ..atm.switch import BACKPRESSURE_MODES, DRAIN_POLICIES, CellSwitch
 from ..faults import FaultPlan, FaultSite
 from ..hw.specs import STRIPE_LINKS, MachineSpec
 from ..sim import Fidelity, SimulationError, Simulator
+from ..topology import TOPOLOGIES, TopologySpec, build_ecmp_tables, build_spec
 from .backpressure import CreditGate
 
 if TYPE_CHECKING:
@@ -126,6 +132,11 @@ class Fabric:
                  n_hosts: Optional[int] = None, *,
                  n_switches: int = 1,
                  topology: str = "switched",
+                 topology_spec: Optional[TopologySpec] = None,
+                 pods: int = 4,
+                 torus_dims: Optional[Sequence[int]] = None,
+                 oversubscription: float = 2.0,
+                 routing_seed: int = 1,
                  skew: Optional[SkewModel] = None,
                  segment_mode: SegmentMode = SegmentMode.IN_ORDER,
                  prop_delay_us: float = 2.0,
@@ -151,8 +162,10 @@ class Fabric:
                 f"n_hosts={n_hosts} disagrees with {len(machines)} machines")
         if len(machines) < 2:
             raise SimulationError("a fabric needs at least two hosts")
-        if topology not in ("switched", "direct"):
-            raise SimulationError(f"unknown topology {topology!r}")
+        if topology not in TOPOLOGIES:
+            raise SimulationError(
+                f"unknown topology {topology!r}; choose from "
+                f"{TOPOLOGIES}")
         if topology == "direct" and len(machines) != 2:
             raise SimulationError(
                 "direct topology is the two-host special case")
@@ -170,13 +183,34 @@ class Fabric:
                 "topology has no ports to protect")
 
         if faults is not None and faults.port_kills \
-                and topology != "switched":
+                and topology == "direct":
             raise SimulationError(
                 "port kills need a switched fabric; the direct "
                 "topology has no switch ports")
 
         self.sim = Simulator()
         self.topology = topology
+        # The declarative shape every non-direct fabric is wired from;
+        # rebuilt from the same parameters on every shard, so trunk
+        # numbering, routes, and partitions agree without coordination.
+        self.topo: Optional[TopologySpec] = None
+        if topology != "direct":
+            if topology_spec is not None:
+                self.topo = topology_spec
+                self.topo.validate()
+            else:
+                self.topo = build_spec(
+                    topology, len(machines), n_switches=n_switches,
+                    pods=pods, dims=torus_dims,
+                    oversubscription=oversubscription)
+            if self.topo.n_hosts != len(machines):
+                raise SimulationError(
+                    f"topology spec covers {self.topo.n_hosts} hosts "
+                    f"but the fabric has {len(machines)}")
+        self.routing_seed = routing_seed
+        self._ecmp = (build_ecmp_tables(self.topo)
+                      if self.topo is not None else None)
+        self._init_ownership()
         self.backpressure = backpressure
         self.credit_window_cells = credit_window_cells
         self.efci_pause_us = efci_pause_us
@@ -235,9 +269,9 @@ class Fabric:
         if topology == "direct":
             self._wire_direct(prop_delay_us)
         else:
-            self._wire_switched(n_switches, prop_delay_us,
-                                switching_delay_us, port_rate_mbps,
-                                port_queue_cells, efci_threshold_cells)
+            self._wire_from_spec(self.topo, prop_delay_us,
+                                 switching_delay_us, port_rate_mbps,
+                                 port_queue_cells, efci_threshold_cells)
         self._schedule_faults()
 
     # -- sharding hooks -----------------------------------------------------------
@@ -254,6 +288,10 @@ class Fabric:
         from ..net.host_node import Host
         return Host(self.sim, spec, name=name, fidelity=fidelity,
                     **host_kw)
+
+    def _init_ownership(self) -> None:
+        """Hook: a shard computes its topology-aware partition here
+        (before any host exists); the base fabric owns everything."""
 
     def owns_host(self, index: int) -> bool:
         """Does this fabric instantiate host ``index``?"""
@@ -320,15 +358,13 @@ class Fabric:
         a.connect(link_ab, segment_mode=self.segment_mode)
         b.connect(link_ba, segment_mode=self.segment_mode)
 
-    def _wire_switched(self, n_switches: int, prop_delay_us: float,
-                       switching_delay_us: float, port_rate_mbps: float,
-                       port_queue_cells: int,
-                       efci_threshold_cells: Optional[int]) -> None:
-        if n_switches < 1:
-            raise SimulationError("need at least one switch")
-        n_switches = min(n_switches, len(self.hosts))
+    def _wire_from_spec(self, topo: TopologySpec, prop_delay_us: float,
+                        switching_delay_us: float, port_rate_mbps: float,
+                        port_queue_cells: int,
+                        efci_threshold_cells: Optional[int]) -> None:
+        n_switches = topo.n_switches
         self.switches = [
-            CellSwitch(self.sim, name=f"sw{k}",
+            CellSwitch(self.sim, name=topo.switch_names[k],
                        port_rate_mbps=port_rate_mbps,
                        switching_delay_us=switching_delay_us,
                        port_queue_cells=port_queue_cells,
@@ -344,7 +380,7 @@ class Fabric:
         # numbering must not depend on ownership -- every shard walks
         # the same sequence.
         for i in range(len(self.hosts)):
-            k = i % n_switches
+            k = topo.host_attach[i]
             trunk = next_trunk[k]
             next_trunk[k] += 1
             if self.owns_host(i):
@@ -354,23 +390,21 @@ class Fabric:
             self._attach.append((k, trunk))
             self._trunk_dest[(k, trunk)] = ("host", i)
 
-        # Inter-switch trunks: full mesh, one trunk per ordered pair,
-        # so any flow crosses at most two switches.  The hop has real
+        # Inter-switch trunks: one per directed link in the spec
+        # (a full mesh for the flat topology, leaf-spine cables for
+        # Clos, lattice neighbors for the torus).  The hop has real
         # propagation delay (it is a link like any other), delivered
         # through a keyed boundary channel.
-        for s in range(n_switches):
-            for t in range(n_switches):
-                if s == t:
-                    continue
-                trunk = next_trunk[s]
-                next_trunk[s] += 1
-                if self._owns_interswitch(s, t):
-                    self.switches[s].add_trunk(trunk,
-                                               self._isw_deliver_fn(s, t))
-                else:
-                    self.switches[s].add_remote_trunk(trunk)
-                self._interswitch[(s, t)] = trunk
-                self._trunk_dest[(s, trunk)] = ("switch", t)
+        for s, t in topo.links:
+            trunk = next_trunk[s]
+            next_trunk[s] += 1
+            if self._owns_interswitch(s, t):
+                self.switches[s].add_trunk(trunk,
+                                           self._isw_deliver_fn(s, t))
+            else:
+                self.switches[s].add_remote_trunk(trunk)
+            self._interswitch[(s, t)] = trunk
+            self._trunk_dest[(s, trunk)] = ("switch", t)
 
         # Uplinks: each host's striped link terminates at its switch.
         # Disjoint seed offsets keep per-lane RNG streams independent
@@ -553,8 +587,11 @@ class Fabric:
         if src_vci is None:
             src_vci = self.vcis.alloc()
         if dst_vci is None:
-            dst_vci = self.vcis.alloc()
-        if self.topology == "switched":
+            # No switch means no VCI rewriting: on the direct wiring
+            # both ends must speak the same identifier.
+            dst_vci = (src_vci if self.topology == "direct"
+                       else self.vcis.alloc())
+        if self.topology != "direct":
             self._install_route(src, dst, src_vci, dst_vci)
             self._install_route(dst, src, dst_vci, src_vci)
             if self.backpressure != "none":
@@ -567,15 +604,23 @@ class Fabric:
     def _install_route(self, src: int, dst: int, in_vci: int,
                        out_vci: int) -> None:
         """Route ``in_vci`` (sent by ``src``) to ``dst``, rewriting to
-        ``out_vci`` on the final hop."""
+        ``out_vci`` on the final hop.
+
+        The path walks the ECMP tables: at every switch on the way the
+        next hop among equal-cost candidates is picked by a content
+        hash of (flow VCI, routing seed, position), so a multipath
+        fabric spreads flows across spines/torus axes while every
+        shard -- and every rerun -- derives the identical path.  The
+        input VCI is carried unrewritten across transit hops; only the
+        final downlink rewrites to ``out_vci``.
+        """
         s_sw, _ = self._attach[src]
         d_sw, d_trunk = self._attach[dst]
-        if s_sw == d_sw:
-            self.switches[s_sw].add_route(in_vci, d_trunk, out_vci)
-        else:
-            trunk = self._interswitch[(s_sw, d_sw)]
-            self.switches[s_sw].add_route(in_vci, trunk, in_vci)
-            self.switches[d_sw].add_route(in_vci, d_trunk, out_vci)
+        path = self._ecmp.path(s_sw, d_sw, in_vci, self.routing_seed)
+        for a, b in zip(path, path[1:]):
+            trunk = self._interswitch[(a, b)]
+            self.switches[a].add_route(in_vci, trunk, in_vci)
+        self.switches[d_sw].add_route(in_vci, d_trunk, out_vci)
 
     def _plumb_backpressure(self, src: int, dst: int, in_vci: int,
                             out_vci: int) -> None:

@@ -1,12 +1,17 @@
 """Sharded cluster runs: the fabric partitioned across K simulators.
 
 A :class:`ShardFabric` is a :class:`~repro.cluster.fabric.Fabric` that
-instantiates only the hosts ``i`` with ``i % K == shard_index`` (plus
-the switch output trunks that serve them) while walking the *same*
-construction sequence as every other shard -- VCI allocation, trunk
-numbering, and route tables stay fabric-global, so any shard can look
-up where a cell is headed.  Every switch has one replica per shard:
-the replica owns real ports only for its shard's trunks and knows the
+instantiates only the hosts its shard owns (plus the switch output
+trunks that serve them) while walking the *same* construction
+sequence as every other shard -- VCI allocation, trunk numbering, and
+route tables stay fabric-global, so any shard can look up where a
+cell is headed.  Ownership comes from
+:func:`repro.topology.partition_hosts`: a greedy min-cut over the
+topology spec keeps co-located hosts (same leaf, same torus node) on
+one shard, and each switch follows the majority of its hosts --
+every shard recomputes the identical assignment from ``(spec, K)``,
+no coordination needed.  Every switch has one replica per shard: the
+replica owns real ports only for its shard's trunks and knows the
 rest as remote trunks.
 
 Cross-shard interactions already travel the base fabric's *boundary
@@ -34,6 +39,7 @@ from dataclasses import asdict
 
 from ..sim import SimulationError
 from ..sim.parallel import BACKENDS, ParallelRunResult, run_shards
+from ..topology import partition_hosts, partition_switches
 from .fabric import Fabric
 from .metrics import ClusterReport
 from .workloads import (
@@ -43,7 +49,7 @@ from .workloads import (
 
 
 class ShardFabric(Fabric):
-    """One shard's slice of a fabric (hosts ``i % K == shard_index``)."""
+    """One shard's slice of a fabric (topology-partitioned hosts)."""
 
     def __init__(self, shard_index: int, n_shards: int, **fabric_kwargs):
         if not (0 <= shard_index < n_shards):
@@ -51,9 +57,9 @@ class ShardFabric(Fabric):
                 f"shard index {shard_index} outside 0..{n_shards - 1}")
         # Validate before Fabric wires anything: the direct topology
         # would trip over the missing hosts mid-construction.
-        if fabric_kwargs.get("topology", "switched") != "switched":
+        if fabric_kwargs.get("topology", "switched") == "direct":
             raise SimulationError(
-                "sharding needs the switched topology; the direct "
+                "sharding needs a switched topology; the direct "
                 "two-host wiring has no trunk boundary to cut at")
         if fabric_kwargs.get("prop_delay_us", 2.0) <= 0.0:
             raise SimulationError(
@@ -66,13 +72,20 @@ class ShardFabric(Fabric):
 
     # -- ownership ---------------------------------------------------------------
 
+    def _init_ownership(self) -> None:
+        # Pure functions of (spec, K): every shard and the merger
+        # derive the identical partition without coordination.
+        self._host_shard = partition_hosts(self.topo, self.n_shards)
+        self._switch_shard = partition_switches(
+            self.topo, self._host_shard, self.n_shards)
+
     def owns_host(self, index: int) -> bool:
-        return index % self.n_shards == self.shard_index
+        return self._host_shard[index] == self.shard_index
 
     def _owns_interswitch(self, s: int, t: int) -> bool:
         # The receiving switch's shard owns the trunk's ports, so the
         # drain-side delay and the delivery land in one simulator.
-        return t % self.n_shards == self.shard_index
+        return self._switch_shard[t] == self.shard_index
 
     def _make_host(self, index, spec, name, fidelity, host_kw):
         if not self.owns_host(index):
@@ -91,10 +104,12 @@ class ShardFabric(Fabric):
                 # the per-switch totals still sum correctly.
                 return self.shard_index
             trunk_id, _ = route
-            _kind, idx = self._trunk_dest[(switch_index, trunk_id)]
-            return idx % self.n_shards
+            kind, idx = self._trunk_dest[(switch_index, trunk_id)]
+            if kind == "host":
+                return self._host_shard[idx]
+            return self._switch_shard[idx]
         # refill/pause land at the source host's gate.
-        return msg[1] % self.n_shards
+        return self._host_shard[msg[1]]
 
     def _emit_boundary(self, when: float, key: tuple,
                        msg: tuple) -> None:
@@ -226,9 +241,13 @@ def _build_shard(index: int, n_shards: int, fabric_kwargs: dict,
 # Merging
 # ---------------------------------------------------------------------------
 
-def _merge_clients(spec: WorkloadSpec, partials: list,
-                   n_shards: int) -> list:
-    """Reunite each flow's two halves from their owner shards."""
+def _merge_clients(spec: WorkloadSpec, partials: list) -> list:
+    """Reunite each flow's two halves from their owner shards.
+
+    Ownership is read off each partial's host snapshot (a host appears
+    only in its owner shard's partial), so the merger never has to
+    recompute the topology partition.
+    """
     n_clients = len(partials[0]["clients"])
     merged = []
     for index in range(n_clients):
@@ -236,9 +255,9 @@ def _merge_clients(spec: WorkloadSpec, partials: list,
         dst_half = None
         for partial in partials:
             fields = partial["clients"][index]
-            if fields["src"] % n_shards == partial["shard"]:
+            if fields["src"] in partial["hosts"]:
                 src_half = fields
-            if fields["dst"] % n_shards == partial["shard"]:
+            if fields["dst"] in partial["hosts"]:
                 dst_half = fields
         client = ClientResult(**src_half)
         if spec.kind == "open" and dst_half is not None:
@@ -255,7 +274,6 @@ def merge_partials(fabric_kwargs: dict, spec: WorkloadSpec,
     """Fold per-shard partials into one :class:`ClusterReport` equal,
     field for field, to what a single-process run would report."""
     partials = sorted(partials, key=lambda p: p["shard"])
-    n_shards = len(partials)
 
     n_switches = len(partials[0]["switches"])
     switches = []
@@ -338,12 +356,12 @@ def merge_partials(fabric_kwargs: dict, spec: WorkloadSpec,
             gate_snaps.update(partial["gates"])
         backpressure["hosts"] = [gate_snaps[i] for i in range(n_hosts)]
 
-    clients = _merge_clients(spec, partials, n_shards)
+    clients = _merge_clients(spec, partials)
     workload = WorkloadResult(spec=spec, clients=clients,
                               elapsed_us=t_end)
 
     return ClusterReport(
-        topology="switched",
+        topology=fabric_kwargs.get("topology", "switched"),
         n_hosts=n_hosts,
         n_switches=n_switches,
         sim_time_us=t_end,

@@ -131,7 +131,8 @@ class FaultPlan:
         return asdict(self)
 
     @classmethod
-    def parse(cls, spec: str, seed: int = 1) -> "FaultPlan":
+    def parse(cls, spec: str, seed: int = 1,
+              switch_names: "dict | None" = None) -> "FaultPlan":
         """Parse the CLI grammar, e.g.::
 
             loss=0.01,corrupt=0.001,credit-loss=0.05,
@@ -140,6 +141,11 @@ class FaultPlan:
         ``flap=H:L@AT+DUR`` flaps host H's uplink lane L at AT us for
         DUR us; ``kill=H:L@AT`` kills the lane; ``port=S:T:L@AT`` kills
         lane L of trunk T on switch S.  ``seed=N`` overrides ``seed``.
+
+        ``switch_names`` (a topology spec's ``name_table()``) lets S
+        be a topology coordinate name instead of an index --
+        ``port=leaf0:0:1@800`` or ``port=t0.1.1:2:0@500`` -- so fault
+        sites are addressable by where they sit in the fabric.
         """
         kw: dict = {"seed": seed, "flaps": [], "lane_kills": [],
                     "port_kills": []}
@@ -171,9 +177,13 @@ class FaultPlan:
                         host=host, lane=lane, at_us=float(at)))
                 elif key == "port":
                     where, _, at = value.partition("@")
-                    sw, trunk, lane = (int(x) for x in where.split(":"))
+                    sw_tok, trunk, lane = where.split(":")
+                    if switch_names and sw_tok in switch_names:
+                        sw = switch_names[sw_tok]
+                    else:
+                        sw = int(sw_tok)
                     kw["port_kills"].append(PortKill(
-                        switch=sw, trunk=trunk, lane=lane,
+                        switch=sw, trunk=int(trunk), lane=int(lane),
                         at_us=float(at)))
                 else:
                     raise ValueError(f"unknown fault key {key!r}")

@@ -1,0 +1,32 @@
+"""Datacenter-scale fabric topologies.
+
+The paper measured two hosts on one cable; its mechanisms (early
+demultiplexing, per-VCI queues) only earn their keep at scale.  This
+package supplies the scale-out shapes: declarative topology specs
+(:mod:`.spec`), generators for the flat switched mesh, leaf/spine
+Clos, and APEnet+-style 3D torus (:mod:`.generators`), deterministic
+ECMP route construction (:mod:`.routing`), an O(1) per-VCI queue
+manager for switch ports (:mod:`.queues`), and topology-aware shard
+partitioning (:mod:`.partition`).
+
+Import discipline: nothing here imports :mod:`repro.atm`,
+:mod:`repro.cluster`, or :mod:`repro.faults` -- the cell switch and
+the fabric import *us*, so this package stays a leaf above
+:mod:`repro.sim`.
+"""
+
+from .generators import build_spec, clos_spec, switched_spec, torus_spec
+from .partition import cut_edges, partition_hosts, partition_switches
+from .queues import ActiveQueueIndex
+from .routing import EcmpTables, build_ecmp_tables, ecmp_hash
+from .spec import TopologySpec, bfs_distances
+
+TOPOLOGIES = ("direct", "switched", "clos", "torus")
+
+__all__ = [
+    "TOPOLOGIES", "TopologySpec", "bfs_distances",
+    "build_spec", "switched_spec", "clos_spec", "torus_spec",
+    "EcmpTables", "build_ecmp_tables", "ecmp_hash",
+    "ActiveQueueIndex",
+    "partition_hosts", "partition_switches", "cut_edges",
+]

@@ -1,0 +1,108 @@
+"""Deterministic route construction with ECMP-style multipath.
+
+Per-destination BFS over a :class:`~repro.topology.spec.TopologySpec`
+yields, at every switch, the set of *minimal next hops* toward each
+destination switch -- the classic ECMP DAG.  A flow's path is then the
+walk that, at each switch, picks one candidate by a **content hash**
+of ``(routing seed, flow VCI, current switch, destination switch)``.
+
+Hashing by content instead of drawing from an RNG is the load-bearing
+choice: the nth flow's path depends only on its own identifiers, never
+on how many flows were opened before it or which shard opened them,
+so ``--shards N`` installs byte-identical route tables to
+``--shards 1``.  The mix is a splitmix64 chain (the same construction
+:mod:`repro.faults.plan` uses for fault decisions) implemented locally
+on integers so this module stays import-leaf -- ``repro.atm.switch``
+pulls in :mod:`repro.topology.queues`, and a routing-layer import of
+the fault package would close a cycle through the cell layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim import SimulationError
+from .spec import TopologySpec, bfs_distances
+
+_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def _splitmix64(x: int) -> int:
+    x = (x + 0x9E3779B97F4A7C15) & _MASK
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK
+    return x ^ (x >> 31)
+
+
+def ecmp_hash(*parts: int) -> int:
+    """A 64-bit value determined purely by the integer ``parts``."""
+    x = 0
+    for part in parts:
+        x = _splitmix64((x ^ (part & _MASK)) & _MASK)
+    return x
+
+
+# Domain separator: keeps route choices uncorrelated with any other
+# consumer of the same splitmix chain (e.g. fault decisions).
+_ECMP_SALT = 0xEC3B
+
+
+@dataclass(frozen=True)
+class EcmpTables:
+    """Routing state derived from one spec: hop counts plus, for every
+    (here, destination) switch pair, the sorted minimal next hops."""
+
+    spec: TopologySpec
+    dists: tuple            # dists[s][t] -> hop count
+    next_hops: tuple        # next_hops[s][t] -> tuple of candidates
+
+    def path(self, src_sw: int, dst_sw: int, flow_key: int,
+             seed: int) -> tuple:
+        """The switch sequence ``src_sw .. dst_sw`` for one flow.
+
+        Each step hashes ``(seed, flow_key, here, dst)`` over the
+        candidate set; equal-cost candidates therefore split flows
+        evenly in expectation while any single flow always takes the
+        same path in every run and on every shard.
+        """
+        path = [src_sw]
+        here = src_sw
+        guard = self.spec.n_switches + 1
+        while here != dst_sw:
+            candidates = self.next_hops[here][dst_sw]
+            if not candidates:
+                raise SimulationError(
+                    f"no route from switch {here} to {dst_sw}")
+            pick = ecmp_hash(_ECMP_SALT, seed, flow_key, here,
+                             dst_sw) % len(candidates)
+            here = candidates[pick]
+            path.append(here)
+            if len(path) > guard:
+                raise SimulationError(
+                    f"routing loop walking {src_sw} -> {dst_sw}")
+        return tuple(path)
+
+
+def build_ecmp_tables(spec: TopologySpec) -> EcmpTables:
+    """BFS every destination once; candidates are sorted neighbors one
+    hop closer to the destination, so the table is a pure function of
+    the spec."""
+    dists = bfs_distances(spec)
+    adjacency = spec.neighbors()
+    n = spec.n_switches
+    next_hops = []
+    for s in range(n):
+        row = []
+        for t in range(n):
+            if s == t or dists[s][t] < 0:
+                row.append(())
+            else:
+                row.append(tuple(b for b in adjacency[s]
+                                 if dists[b][t] == dists[s][t] - 1))
+        next_hops.append(tuple(row))
+    return EcmpTables(spec=spec,
+                      dists=tuple(tuple(d) for d in dists),
+                      next_hops=tuple(next_hops))
+
+
+__all__ = ["EcmpTables", "build_ecmp_tables", "ecmp_hash"]
