@@ -1,8 +1,9 @@
 """Sharded-cluster scaling sweep: hosts x shards, events/sec.
 
-Runs the same pairs workload through the single-process fabric and
-through ``run_cluster_sharded`` at each shard count, checks the
-reports stay byte-identical, and writes a canonical JSON document::
+Runs the same pairs workload through the single-process fabric (cell
+trains on and off) and through ``run_cluster_sharded`` at each shard
+count, checks the reports stay byte-identical, and writes a canonical
+JSON document::
 
     python benchmarks/bench_cluster_scale.py --out BENCH_cluster_scale.json
 
@@ -13,23 +14,48 @@ the serial run, and the honest expectation is overhead, not speedup.
 The sync cost scales with the number of windows, which is roughly
 ``sim_time / prop_delay`` -- a longer trunk (--prop-delay) buys
 coarser windows for both modes.
+
+Event accounting
+----------------
+``events_per_s`` on every row is **model events** per wall second,
+where model events = ``events_processed + events_absorbed``: the
+per-cell events the run executed plus the ones the cell-train fast
+path folded into train events.  That makes the column comparable
+across all four row kinds (plain/sharded x train/no-train) -- a train
+run does the same model work in fewer heap operations, and the sweep
+asserts the model-event totals agree exactly.  Coordinator window
+probes never inflate the sharded rows by construction: probes run in
+the coordinator process, and ``events_processed`` sums only the
+per-shard ``Simulator`` counters.
+
+The ``burst-pairs`` rows measure the fast path itself: whole PDUs
+submitted to the uplinks in one event each, a zero-event train sink at
+the destination edge (``Fabric.set_train_sink``), no host protocol
+stack in the loop.  That is the uncontended-segment regime the trains
+were built for, and where the >=10x events/s gain shows.
 """
 
 from __future__ import annotations
 
 import argparse
+import gc
 import os
 import sys
 import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from repro.atm.cell import Cell                            # noqa: E402
 from repro.bench.report import to_json                     # noqa: E402
 from repro.cluster import (                                # noqa: E402
     Fabric, WorkloadSpec, collect, run_workload,
 )
 from repro.cluster.sharded import run_cluster_sharded      # noqa: E402
-from repro.hw.specs import DS5000_200                      # noqa: E402
+from repro.hw.specs import (                               # noqa: E402
+    AAL_PAYLOAD_BYTES, DS5000_200, STRIPE_LINKS,
+)
+
+EVENT_BUDGET = 200_000_000
 
 
 def _spec(args) -> WorkloadSpec:
@@ -39,51 +65,159 @@ def _spec(args) -> WorkloadSpec:
         requests_per_client=args.messages)
 
 
-def _fabric_kwargs(args, n_hosts: int) -> dict:
+def _fabric_kwargs(args, n_hosts: int, trains: bool) -> dict:
     return {
         "machines": DS5000_200, "n_hosts": n_hosts, "n_switches": 1,
         "backpressure": "credit", "credit_window_cells": 64,
-        "drain_policy": "rr", "prop_delay_us": args.prop_delay}
+        "drain_policy": "rr", "prop_delay_us": args.prop_delay,
+        "trains": trains}
+
+
+def _model_events(sim) -> int:
+    return sim.events_processed + sim.events_absorbed
+
+
+def run_burst_point(args, n_hosts: int, trains: bool) -> dict:
+    """Uncontended pairs at the fabric level: one event submits a whole
+    PDU per sender, a train sink replaces the per-cell edge, and the
+    host protocol stacks stay out of the loop.  Both train settings do
+    identical model work (the sweep asserts it), so the events/s ratio
+    is exactly the heap-operation saving."""
+    fabric = Fabric(machines=DS5000_200, n_hosts=n_hosts, n_switches=1,
+                    backpressure="none", switching_delay_us=0.0,
+                    prop_delay_us=args.prop_delay, trains=trains)
+    sim = fabric.sim
+    n_cells = max(1, -(-args.size // AAL_PAYLOAD_BYTES))
+    payload = b"\x00" * AAL_PAYLOAD_BYTES
+    # Lanes and the output port run at the same cell rate, so the
+    # port keeps up and back-to-back PDUs stay uncontended.
+    lane_time = fabric._uplink_by_host[0].pipes[0].cell_time_us
+    pdu_span = (-(-n_cells // STRIPE_LINKS) + 1) * lane_time
+
+    for src in range(0, n_hosts - 1, 2):
+        dst = src + 1
+        flow = fabric.open_flow(src, dst)
+        # Neutralize the destination edge identically in both modes:
+        # fused trains hit the sink, expanded/per-cell deliveries hit
+        # a counting stub on the downlink trunk.  Either way no cell
+        # reaches the host board, so neither mode pays rx-path events.
+        if trains:
+            fabric.set_train_sink(dst, lambda cells, deps: None)
+        d_sw, d_trunk = fabric._attach[dst]
+
+        def edge(cell, d=dst):
+            if cell.corrupted:
+                fabric._corrupted[d] += 1
+            else:
+                fabric._delivered[d] += 1
+
+        fabric.switches[d_sw]._trunk_deliver[d_trunk] = edge
+
+        uplink = fabric._uplink_by_host[src]
+        for m in range(args.burst_pdus):
+            cells = [Cell(vci=flow.src_vci, payload=payload,
+                          eom=(i == n_cells - 1), tx_index=i)
+                     for i in range(n_cells)]
+            sim.call_at(m * pdu_span,
+                        lambda u=uplink, cs=cells: u.submit_pdu(cs))
+
+    # The burst rows are a microbenchmark of the event core itself;
+    # collector pauses (driven by the millions of cells built above)
+    # would otherwise dominate the short train-mode wall and understate
+    # the ratio.  Both modes get the identical treatment.
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        executed = sim.run(EVENT_BUDGET)
+        wall = time.perf_counter() - start
+    finally:
+        gc.enable()
+    if executed >= EVENT_BUDGET:
+        raise SystemExit("burst workload did not quiesce -- "
+                         "the numbers would be meaningless")
+    model = _model_events(sim)
+    return {
+        "workload": "burst-pairs", "hosts": n_hosts, "shards": 1,
+        "train": trains,
+        "requested_backend": args.backend, "measured_backend": "plain",
+        "wall_s": round(wall, 4),
+        "events_processed": sim.events_processed,
+        "events_absorbed": sim.events_absorbed,
+        "model_events": model,
+        "events_per_s": round(model / wall),
+        "cells_delivered": fabric.cells_delivered(),
+        "sim_time_us": round(sim.now, 4),
+    }
 
 
 def run_sweep(args) -> dict:
     points = []
     single_cpu = (os.cpu_count() or 1) <= 1
     for n_hosts in args.hosts:
-        kwargs = _fabric_kwargs(args, n_hosts)
         spec = _spec(args)
 
-        start = time.perf_counter()
-        fabric = Fabric(**kwargs)
-        workload = run_workload(fabric, spec)
-        plain_wall = time.perf_counter() - start
-        plain_json = collect(fabric, workload).to_json()
-        plain_events = fabric.sim.events_processed
-        points.append({
-            "hosts": n_hosts, "shards": 1, "backend": "plain",
-            "wall_s": round(plain_wall, 4),
-            "events": plain_events,
-            "events_per_s": round(plain_events / plain_wall),
-            "windows": 0, "speedup_vs_plain": 1.0,
-            "identical_to_plain": True,
-        })
-        print(f"hosts={n_hosts:<3d} plain      "
-              f"{plain_wall:6.2f}s  {plain_events:>8d} events")
+        plain = {}
+        for trains in (True, False):
+            start = time.perf_counter()
+            fabric = Fabric(**_fabric_kwargs(args, n_hosts, trains))
+            workload = run_workload(fabric, spec,
+                                    max_events=EVENT_BUDGET)
+            wall = time.perf_counter() - start
+            plain[trains] = {
+                "wall": wall,
+                "json": collect(fabric, workload).to_json(),
+                "model": _model_events(fabric.sim),
+            }
+            points.append({
+                "workload": "pairs", "hosts": n_hosts, "shards": 1,
+                "train": trains,
+                "requested_backend": args.backend,
+                "measured_backend": "plain",
+                "wall_s": round(wall, 4),
+                "events_processed": fabric.sim.events_processed,
+                "events_absorbed": fabric.sim.events_absorbed,
+                "model_events": plain[trains]["model"],
+                "events_per_s": round(plain[trains]["model"] / wall),
+                "windows": 0, "speedup_vs_plain": 1.0,
+                "identical_to_plain": True,
+            })
+            print(f"hosts={n_hosts:<3d} plain "
+                  f"{'train   ' if trains else 'no-train'} "
+                  f"{wall:6.2f}s  {plain[trains]['model']:>8d} "
+                  f"model events")
+        if plain[True]["json"] != plain[False]["json"]:
+            raise SystemExit(
+                "--train report diverged from --no-train -- the fast "
+                "path changed the model, numbers are meaningless")
+        if plain[True]["model"] != plain[False]["model"]:
+            raise SystemExit(
+                f"model-event totals diverged: train "
+                f"{plain[True]['model']} != no-train "
+                f"{plain[False]['model']}")
 
+        plain_wall = plain[True]["wall"]
+        plain_json = plain[True]["json"]
         for n_shards in args.shards:
             if n_shards > n_hosts:
                 continue
             start = time.perf_counter()
             report, run = run_cluster_sharded(
-                kwargs, _spec(args), n_shards, backend=args.backend)
+                _fabric_kwargs(args, n_hosts, True), _spec(args),
+                n_shards, backend=args.backend)
             wall = time.perf_counter() - start
             identical = report.to_json() == plain_json
+            model = run.events_processed + run.events_absorbed
             points.append({
-                "hosts": n_hosts, "shards": n_shards,
-                "backend": args.backend,
+                "workload": "pairs", "hosts": n_hosts,
+                "shards": n_shards, "train": True,
+                "requested_backend": args.backend,
+                "measured_backend": args.backend,
                 "wall_s": round(wall, 4),
-                "events": run.events_processed,
-                "events_per_s": round(run.events_processed / wall),
+                "events_processed": run.events_processed,
+                "events_absorbed": run.events_absorbed,
+                "model_events": model,
+                "events_per_s": round(model / wall),
                 "windows": run.windows,
                 # On a 1-CPU box the shards time-slice one core; a
                 # "speedup" there would be measurement noise dressed
@@ -95,13 +229,41 @@ def run_sweep(args) -> dict:
             speedup = ("speedup n/a (1 cpu)" if single_cpu
                        else f"speedup {plain_wall / wall:4.2f}x")
             print(f"hosts={n_hosts:<3d} {args.backend} K={n_shards}  "
-                  f"{wall:6.2f}s  {run.events_processed:>8d} events  "
+                  f"{wall:6.2f}s  {model:>8d} model events  "
                   f"{run.windows:>6d} windows  {speedup}"
                   f"{'' if identical else '  REPORT MISMATCH'}")
             if not identical:
                 raise SystemExit(
                     "sharded report diverged from the plain run -- "
                     "determinism is broken, numbers are meaningless")
+            if model != plain[True]["model"]:
+                raise SystemExit(
+                    f"sharded model-event total {model} != plain "
+                    f"{plain[True]['model']} -- the accounting is "
+                    f"broken, events/s is not comparable")
+
+    train_ratios = []
+    for n_hosts in args.hosts:
+        burst = {trains: run_burst_point(args, n_hosts, trains)
+                 for trains in (True, False)}
+        for trains in (True, False):
+            points.append(burst[trains])
+            print(f"hosts={n_hosts:<3d} burst "
+                  f"{'train   ' if trains else 'no-train'} "
+                  f"{burst[trains]['wall_s']:6.2f}s  "
+                  f"{burst[trains]['model_events']:>8d} model events  "
+                  f"{burst[trains]['events_per_s']:>9d} ev/s")
+        for field in ("model_events", "cells_delivered", "sim_time_us"):
+            if burst[True][field] != burst[False][field]:
+                raise SystemExit(
+                    f"burst {field} diverged: train "
+                    f"{burst[True][field]} != no-train "
+                    f"{burst[False][field]}")
+        ratio = round(burst[True]["events_per_s"]
+                      / burst[False]["events_per_s"], 2)
+        train_ratios.append({"hosts": n_hosts,
+                             "events_per_s_ratio": ratio})
+        print(f"hosts={n_hosts:<3d} burst train speedup {ratio:.1f}x")
 
     document = {
         "benchmark": "cluster_scale",
@@ -110,10 +272,12 @@ def run_sweep(args) -> dict:
         "params": {
             "pattern": "pairs", "backpressure": "credit",
             "message_bytes": args.size, "messages": args.messages,
+            "burst_pdus": args.burst_pdus,
             "prop_delay_us": args.prop_delay, "seed": args.seed,
-            "backend": args.backend,
+            "requested_backend": args.backend,
         },
         "points": points,
+        "train_speedup": train_ratios,
     }
     if single_cpu:
         document["warning"] = "cpu_count==1"
@@ -131,6 +295,8 @@ def main(argv=None) -> int:
                         choices=("proc", "thread", "inline"))
     parser.add_argument("--messages", type=int, default=8)
     parser.add_argument("--size", type=int, default=8192)
+    parser.add_argument("--burst-pdus", type=int, default=64,
+                        help="PDUs per sender in the burst-pairs rows")
     parser.add_argument("--prop-delay", type=float, default=2.0)
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--out", default=None,

@@ -14,6 +14,16 @@ Two halves, one JSON document::
   10^5.  The seed switch's dict scan made both O(V); the occupancy
   index must hold the per-operation cost flat (within 2x across the
   hundredfold VCI range), or ``flat_within_2x`` comes back false.
+* **Train ablation** -- the cell-train fast path's leverage as
+  contention and faults erode it: {pairs, incast} x {clean, 1% loss}
+  each run with trains on and off.  Reports must come back
+  byte-identical (the fast path is an optimization, not a model
+  change); the interesting numbers are ``absorbed_fraction`` -- how
+  much of the event stream the trains folded -- and the wall-clock
+  ratio.  On these small full-stack runs host processing dominates
+  the wall clock, so the ratio hovers near 1; the large-grain wins
+  live in ``bench_cluster_scale.py``'s burst rows, where link and
+  switch events are the workload.
 """
 
 from __future__ import annotations
@@ -29,6 +39,7 @@ from repro.bench.report import to_json                     # noqa: E402
 from repro.cluster import (                                # noqa: E402
     Fabric, WorkloadSpec, collect, run_workload,
 )
+from repro.faults.plan import FaultPlan                    # noqa: E402
 from repro.hw.specs import DS5000_200                      # noqa: E402
 from repro.topology import ActiveQueueIndex                # noqa: E402
 
@@ -90,6 +101,70 @@ def _bench_queue_index(n_vcis: int, repeat: int = 3) -> dict:
     }
 
 
+def _ablation_point(pattern: str, faults: str | None, trains: bool,
+                    seed: int) -> tuple[str, dict]:
+    """One {workload, faults, trains} cell of the ablation grid.
+
+    Returns the report JSON (for the byte-identity check against the
+    matching trains-off run) and the row of numbers."""
+    spec = WorkloadSpec(pattern=pattern, kind="open", seed=seed,
+                        message_bytes=4096, messages_per_client=8)
+    kw: dict = dict(machines=DS5000_200, n_hosts=8, topology="clos",
+                    pods=4, routing_seed=seed, trains=trains)
+    if faults:
+        kw["faults"] = FaultPlan.parse(faults, seed=seed)
+    start = time.perf_counter()
+    fabric = Fabric(**kw)
+    workload = run_workload(fabric, spec)
+    wall = time.perf_counter() - start
+    report = collect(fabric, workload)
+    processed = fabric.sim.events_processed
+    absorbed = fabric.sim.events_absorbed
+    model = processed + absorbed
+    return report.to_json(), {
+        "workload": pattern,
+        "faults": faults or "none",
+        "train": trains,
+        "wall_s": round(wall, 4),
+        "events_processed": processed,
+        "events_absorbed": absorbed,
+        "model_events": model,
+        "events_per_s": round(model / wall),
+        "absorbed_fraction": round(absorbed / model, 4) if model else 0.0,
+    }
+
+
+def _run_ablation(seed: int) -> dict:
+    """Train on/off over {pairs, incast} x {clean, 1% loss}."""
+    rows = []
+    for pattern in ("pairs", "incast"):
+        for faults in (None, "loss=0.01"):
+            json_on, row_on = _ablation_point(pattern, faults, True, seed)
+            json_off, row_off = _ablation_point(pattern, faults, False,
+                                                seed)
+            if json_on != json_off:
+                raise SystemExit(
+                    f"train ablation diverged on {pattern}/{faults}: "
+                    "the fast path changed the model")
+            if row_on["model_events"] != row_off["model_events"]:
+                raise SystemExit(
+                    f"model-event mismatch on {pattern}/{faults}: "
+                    f"{row_on['model_events']} with trains vs "
+                    f"{row_off['model_events']} without")
+            speedup = round(row_off["wall_s"] / row_on["wall_s"], 2) \
+                if row_on["wall_s"] else 0.0
+            for row in (row_on, row_off):
+                rows.append(row)
+                print(f"{pattern:<8s} faults={row['faults']:<10s} "
+                      f"train={str(row['train']):<5s} "
+                      f"{row['wall_s']:7.3f}s  "
+                      f"{row['events_per_s']:>9d} ev/s  "
+                      f"absorbed {row['absorbed_fraction']:.1%}")
+            print(f"{pattern:<8s} faults={faults or 'none':<10s} "
+                  f"speedup {speedup}x (reports byte-identical)")
+    return {"rows": rows, "reports_identical": True}
+
+
 def run_benchmarks(args) -> dict:
     fabrics = [
         _run_fabric("clos", args.seed, n_hosts=8, topology="clos",
@@ -116,6 +191,8 @@ def run_benchmarks(args) -> dict:
     print(f"per-op cost flat within 2x across "
           f"{scaling[0]['vcis']}..{scaling[-1]['vcis']} VCIs: {flat}")
 
+    ablation = _run_ablation(args.seed)
+
     return {
         "benchmark": "topology",
         "cpu_count": os.cpu_count(),
@@ -123,6 +200,7 @@ def run_benchmarks(args) -> dict:
         "params": {"seed": args.seed, "vcis": list(args.vcis)},
         "fabrics": fabrics,
         "queue_index": {"points": scaling, "flat_within_2x": flat},
+        "train_ablation": ablation,
     }
 
 

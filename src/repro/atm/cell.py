@@ -55,6 +55,26 @@ class Cell:
         if self.vci < 0 or self.vci > 0xFFFF:
             raise ValueError(f"VCI {self.vci} out of range")
 
+    def rewrite(self, vci: int, link_id: int, efci: bool) -> "Cell":
+        """A switch-rewritten copy: new VCI, output lane, EFCI state.
+
+        Bypasses ``__init__`` -- the payload and framing bits were
+        validated when this cell was created, and VCI rewriting is the
+        per-cell hot path of both the drain loop and the fused train
+        commit, which must stay cheap and *identical*.
+        """
+        c = Cell.__new__(Cell)
+        c.vci = vci
+        c.payload = self.payload
+        c.eom = self.eom
+        c.seq = self.seq
+        c.atm_last = self.atm_last
+        c.link_id = link_id
+        c.tx_index = self.tx_index
+        c.efci = efci
+        c.corrupted = self.corrupted
+        return c
+
     @property
     def wire_bytes(self) -> int:
         """Bytes occupied on the wire (full 53-byte cell)."""

@@ -5,10 +5,25 @@ rate, experience a propagation delay plus a per-cell queueing delay
 supplied by a skew model, and are delivered *in order* (delays are
 clamped so a cell never overtakes its predecessor on the same link --
 precisely the paper's definition of skew-class misordering).
+
+Two execution modes share the identical timing model:
+
+* the **per-cell pump** (default): a generator process pays one heap
+  event per cell for the serialization delay;
+* the **fast path** (:meth:`CellPipe.enable_trains`, used by the
+  cluster fabric when cell trains are on): serialization completion
+  times are computed arithmetically at submission, contiguous
+  surviving cells accumulate into a :class:`~repro.sim.trains.
+  CellTrain`, and per-cell events exist only where ordering can
+  matter -- a nonzero skew sample, an in-order clamp, or a fault
+  site with a scheduled state change due before the cell finishes
+  serializing (the *deferred* fallback, which replays the exact
+  per-cell pump event for every queued cell until the hazard passes).
 """
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Any, Callable, Generator, Optional
 
 from ..hw.specs import ATM_CELL_BYTES
@@ -50,13 +65,204 @@ class CellPipe:
         # is the lookahead guarantee the replacement relies on.
         self.schedule_delivery: Callable[[float, Cell], None] = \
             self._schedule_local
+        # Fast path (cell trains): installed by the fabric via
+        # enable_trains(); None means the per-cell pump owns the link.
+        self._train_port = None
+        self._busy_until = 0.0
+        self._open_train = None
+        self._deferred: deque = deque()     # (cell, t_done) pairs
+        self._inflight_starts: deque = deque()
         spawn(sim, self._pump(), f"{self.name}.pump")
+
+    def enable_trains(self, train_port) -> None:
+        """Switch the link to the arithmetic fast path.
+
+        ``train_port`` is the fabric's emission helper for this lane's
+        boundary channel: ``emit_single(arrival, cell)`` schedules the
+        ordinary keyed per-cell event, ``open(arrival, cell)`` starts
+        a train (allocating its key block), ``append_bump()`` burns
+        one channel sequence number for an appended cell, and
+        ``allowed(cell)`` says whether trains may form at all for this
+        cell's destination (a shard forbids them across boundaries).
+        """
+        self._train_port = train_port
 
     def submit(self, cell: Cell) -> None:
         """Hand a cell to the link (never blocks; the pipe queues)."""
         cell.link_id = self.link_id
+        if self._train_port is not None:
+            self._submit_fast(cell)
+            return
         self._queue.try_put(cell)
         self.max_queue = max(self.max_queue, len(self._queue))
+
+    # -- fast path -----------------------------------------------------------
+
+    def _submit_fast(self, cell: Cell) -> None:
+        now = self.sim.now
+        busy = self._busy_until
+        start = busy if busy > now else now
+        t_done = start + self.cell_time_us
+        self._busy_until = t_done
+        # max_queue tracks cells submitted but not yet serializing,
+        # exactly what the pump's Store would hold.
+        starts = self._inflight_starts
+        while starts and starts[0] <= now:
+            starts.popleft()
+        if start > now:
+            starts.append(start)
+            if len(starts) > self.max_queue:
+                self.max_queue = len(starts)
+        site = self.fault_site
+        if self._deferred or (site is not None
+                              and site.next_scheduled() < t_done):
+            # A scheduled flap/kill lands before this cell finishes
+            # serializing: its fate cannot be decided now.  Queue it
+            # behind a real per-cell event at its completion time --
+            # the exact event the pump would have run -- and keep
+            # deferring until the backlog drains past the hazard.
+            self._open_train = None
+            self._deferred.append((cell, t_done))
+            if len(self._deferred) == 1:
+                self.sim.call_at(t_done, self._deferred_step)
+            return
+        self._finish_cell(cell, t_done, absorbed=True)
+
+    def _deferred_step(self) -> None:
+        cell, t_done = self._deferred.popleft()
+        self._finish_cell(cell, t_done, absorbed=False)
+        if self._deferred:
+            self.sim.call_at(self._deferred[0][1], self._deferred_step)
+
+    def _finish_cell(self, cell: Cell, t_done: float,
+                     absorbed: bool) -> None:
+        """Serialization finished at ``t_done``: decide fate, stamp
+        the arrival, and emit -- arithmetically (``absorbed``) or from
+        a real deferred event.  Mirrors the pump body line for line;
+        the timing math must stay bitwise identical."""
+        if absorbed:
+            self.sim.events_absorbed += 1
+        if self.fault_site is not None:
+            cell = self.fault_site.filter(cell, t_done)
+            if cell is None:
+                if absorbed:
+                    # No later event covers a lost cell; the clock
+                    # must still land where the pump's serialization
+                    # event would have left it.  (A surviving cell is
+                    # always covered: its arrival event, train commit,
+                    # or expansion all postdate t_done.)
+                    self.sim.note_model_time(t_done)
+                self._open_train = None     # a gap breaks the train
+                return
+        extra = self.queueing_delay() if self.queueing_delay else 0.0
+        arrival = t_done + self.prop_delay_us + max(0.0, extra)
+        clamped = arrival < self._last_arrival
+        if clamped:
+            arrival = self._last_arrival
+        self._last_arrival = arrival
+        self.cells_carried += 1
+        port = self._train_port
+        if (not absorbed or extra != 0.0 or clamped
+                or not port.allowed(cell)):
+            # Ordering can matter here (skew sample, in-order clamp,
+            # deferred fallback, or a shard boundary): per-cell event.
+            self._open_train = None
+            port.emit_single(arrival, cell)
+            return
+        train = self._open_train
+        if train is not None and train.try_append(cell, arrival):
+            port.append_bump()
+        else:
+            self._open_train = train = port.open(arrival, cell)
+        if cell.eom or cell.atm_last:
+            self._open_train = None     # trains carry one PDU's cells
+
+    def submit_burst(self, cells: list) -> None:
+        """Submit one PDU's slice for this lane in a single call.
+
+        Bitwise-equivalent to calling :meth:`submit` per cell, but the
+        per-cell scheduling overhead is hoisted: serialization times
+        chain through one local accumulator, the fault hazard window
+        is checked once against the last completion time, and the
+        train-port ``allowed`` check runs once (all cells of a PDU
+        share a VCI, which is all ``allowed`` may depend on).  Any
+        hazard -- deferred backlog, a scheduled fault change inside
+        the burst's span -- falls back to the per-cell path wholesale,
+        which makes the exact per-cell decisions.
+        """
+        port = self._train_port
+        if port is None or self._deferred or not cells:
+            for cell in cells:
+                self.submit(cell)
+            return
+        now = self.sim.now
+        busy = self._busy_until
+        ct = self.cell_time_us
+        start0 = busy if busy > now else now
+        # Completion times chain exactly like the per-cell path:
+        # t_done[i] = t_done[i-1] + cell_time.
+        t_dones = []
+        t = start0
+        for _ in cells:
+            t += ct
+            t_dones.append(t)
+        site = self.fault_site
+        if site is not None and site.next_scheduled() < t_dones[-1]:
+            for cell in cells:
+                self.submit(cell)
+            return
+        self._busy_until = t_dones[-1]
+        # max_queue parity: the per-cell loop appends each queued
+        # service start; within a burst every cell after the first
+        # waits, so the deque peaks at the end of the batch.
+        starts = self._inflight_starts
+        while starts and starts[0] <= now:
+            starts.popleft()
+        if start0 > now:
+            starts.append(start0)
+        starts.extend(t_dones[:-1])
+        if len(starts) > self.max_queue:
+            self.max_queue = len(starts)
+        sim = self.sim
+        sim.events_absorbed += len(cells)
+        filt = site.filter if site is not None else None
+        qd = self.queueing_delay
+        prop = self.prop_delay_us
+        lid = self.link_id
+        last = self._last_arrival
+        train = self._open_train
+        allowed = port.allowed(cells[0])
+        carried = 0
+        for cell, t_done in zip(cells, t_dones):
+            cell.link_id = lid
+            if filt is not None:
+                cell = filt(cell, t_done)
+                if cell is None:
+                    sim.note_model_time(t_done)
+                    train = None
+                    continue
+            extra = qd() if qd is not None else 0.0
+            arrival = t_done + prop + (extra if extra > 0.0 else 0.0)
+            clamped = arrival < last
+            if clamped:
+                arrival = last
+            last = arrival
+            carried += 1
+            if extra != 0.0 or clamped or not allowed:
+                train = None
+                port.emit_single(arrival, cell)
+                continue
+            if train is not None and not train.fired:
+                train.cells.append(cell)
+                train.times.append(arrival)
+                port.append_bump()
+            else:
+                train = port.open(arrival, cell)
+            if cell.eom or cell.atm_last:
+                train = None    # trains carry one PDU's cells
+        self._last_arrival = last
+        self.cells_carried += carried
+        self._open_train = train
 
     def _pump(self) -> Generator[Any, Any, None]:
         from ..sim import Delay

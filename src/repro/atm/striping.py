@@ -125,10 +125,15 @@ class StripedLink:
         self.skew = skew or SkewModel.none()
         self.n_links = n_links
         self.name = name
+        # A skew-free model's sampler always returns 0.0 and draws no
+        # randomness; passing None lets the pipes skip the call on
+        # their per-cell hot path.
+        skewed = self.skew.introduces_skew
         self.pipes = [
             CellPipe(sim, i, deliver, rate_mbps=rate_mbps,
                      prop_delay_us=prop_delay_us,
-                     queueing_delay=self.skew.delay_fn(i),
+                     queueing_delay=(self.skew.delay_fn(i) if skewed
+                                     else None),
                      name=f"{name}.l{i}")
             for i in range(n_links)
         ]
@@ -192,10 +197,31 @@ class StripedLink:
         self.pipes[link_id].submit(cell)
 
     def submit_pdu(self, cells: list[Cell]) -> None:
-        """Convenience: start a PDU and submit all of its cells."""
+        """Start a PDU and submit all of its cells.
+
+        When the group is healthy, the cells are stamped with their
+        canonical ``tx_index`` order, and they share one VCI, each
+        lane takes its whole slice in a single :meth:`CellPipe.
+        submit_burst` call -- the bulk-submission fast path.  Anything
+        irregular falls back to per-cell :meth:`submit`.
+        """
         self.start_pdu()
-        for cell in cells:
-            self.submit(cell)
+        if self._dead_lanes or not cells:
+            for cell in cells:
+                self.submit(cell)
+            return
+        vci = cells[0].vci
+        for i, cell in enumerate(cells):
+            if cell.tx_index != i or cell.vci != vci:
+                for c in cells:
+                    self.submit(c)
+                return
+        self.cells_sent += len(cells)
+        n = self.n_links
+        for k, pipe in enumerate(self.pipes):
+            lane_cells = cells[k::n]
+            if lane_cells:
+                pipe.submit_burst(lane_cells)
 
     @property
     def aggregate_payload_mbps(self) -> float:

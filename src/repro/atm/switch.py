@@ -45,7 +45,8 @@ from typing import Any, Callable, Generator, Optional
 
 from ..hw.specs import ATM_CELL_BYTES, STRIPE_LINKS
 from ..sim import Delay, Signal, SimulationError, Simulator, spawn
-from ..topology.queues import ActiveQueueIndex
+from ..sim.trains import CellTrain
+from ..topology.queues import ActiveQueueIndex, VirtualOccupancy
 from .cell import Cell
 from .link import OC3_MBPS
 
@@ -91,6 +92,19 @@ class _OutputPort:
         # its backlog is allowed to drain.
         self.fault_dead = False
         self.lost_to_faults = 0
+        # Cell-train state.  ``virtual`` tracks cells a fused commit
+        # carried past this port: they occupy it for real simulated
+        # time without ever entering ``index``, so admission and depth
+        # statistics for later per-cell arrivals must add the residual.
+        # ``busy_until`` is when the port's (real or virtual) service
+        # chain ends; ``kill_at`` < inf means a port kill is armed and
+        # the port's future is not predictable at commit time;
+        # ``no_fuse`` is set once cross traffic shares the port.
+        self.virtual = VirtualOccupancy()
+        self.virtual_vci = -1
+        self.busy_until = 0.0
+        self.kill_at = float("inf")
+        self.no_fuse = False
 
     @property
     def depth(self) -> int:
@@ -110,14 +124,18 @@ class _OutputPort:
             counters = self.vci_counters[vci] = _VciCounters()
         return counters
 
-    def enqueue(self, cell: Cell) -> None:
+    def enqueue(self, cell: Cell, virtual_same_vci: int = 0,
+                virtual_total: int = 0) -> None:
         backlog = self.index.enqueue(cell.vci, cell,
                                      fifo=self.drain_policy != "rr")
         self.cells_enqueued += 1
-        self.max_queue_seen = max(self.max_queue_seen, self.index.depth)
+        depth = self.index.depth + virtual_total
+        if depth > self.max_queue_seen:
+            self.max_queue_seen = depth
         counters = self._counters(cell.vci)
         counters.enqueued += 1
-        counters.max_depth = max(counters.max_depth, backlog)
+        if backlog + virtual_same_vci > counters.max_depth:
+            counters.max_depth = backlog + virtual_same_vci
         self.work.fire()
 
     def pop_next(self) -> Optional[Cell]:
@@ -209,6 +227,10 @@ class CellSwitch:
         self._remote_trunks: dict[int, int] = {}
         # input VCI -> (trunk id, output VCI).
         self._routes: dict[int, tuple[int, int]] = {}
+        # trunk id -> number of routes targeting it.  A fused train
+        # commit requires exactly one (only then can no other routed
+        # flow interleave with the train's cells on its port).
+        self._trunk_route_count: dict[int, int] = {}
         # (trunk id, cell VCI at the port) -> credit-return callback.
         self._forward_hooks: dict[tuple[int, int], Callable[[], None]] = {}
         self.cells_switched = 0
@@ -269,6 +291,8 @@ class CellSwitch:
             raise SimulationError(f"unknown trunk {trunk_id}")
         self._routes[in_vci] = (trunk_id, out_vci if out_vci is not None
                                 else in_vci)
+        self._trunk_route_count[trunk_id] = \
+            self._trunk_route_count.get(trunk_id, 0) + 1
 
     def route_for(self, vci: int) -> Optional[tuple[int, int]]:
         """(trunk id, output VCI) for an input VCI, or None."""
@@ -291,6 +315,13 @@ class CellSwitch:
             raise SimulationError(f"unknown trunk {trunk_id}")
         self._forward_hooks[(trunk_id, vci)] = callback
 
+    def forward_hook(self, trunk_id: int,
+                     vci: int) -> Optional[Callable[[], None]]:
+        """The registered forward callback for ``(trunk, vci)``, if
+        any -- the fused train path invokes it per cell at the exact
+        departure times the drain loop would have."""
+        return self._forward_hooks.get((trunk_id, vci))
+
     def kill_port(self, trunk_id: int, lane: int) -> None:
         """Fail one output port: subsequent arrivals are lost to the
         fault; cells already queued drain normally."""
@@ -299,6 +330,20 @@ class CellSwitch:
             raise SimulationError(
                 f"{self.name}: no port (trunk {trunk_id}, lane {lane})")
         ports[lane].fault_dead = True
+
+    def arm_port_kill(self, trunk_id: int, lane: int,
+                      at_us: float) -> None:
+        """Record that :meth:`kill_port` is scheduled for ``at_us``.
+
+        An armed port never accepts fused train commits: a commit
+        decides departures beyond the kill time, which the kill would
+        have prevented.  Per-cell events stay exact."""
+        ports = self._trunks.get(trunk_id)
+        if ports is None or not 0 <= lane < len(ports):
+            raise SimulationError(
+                f"{self.name}: no port (trunk {trunk_id}, lane {lane})")
+        port = ports[lane]
+        port.kill_at = min(port.kill_at, at_us)
 
     # -- data path -----------------------------------------------------------------
 
@@ -334,13 +379,123 @@ class CellSwitch:
                     f"{cell.link_id} but the trunk has "
                     f"{len(ports)} lanes")
             lane = cell.link_id % len(ports)
-        rewritten = Cell(vci=out_vci, payload=cell.payload,
-                         eom=cell.eom, seq=cell.seq,
-                         atm_last=cell.atm_last, tx_index=cell.tx_index,
-                         efci=cell.efci, corrupted=cell.corrupted)
-        rewritten.link_id = lane
+        rewritten = cell.rewrite(out_vci, lane, cell.efci)
         if self._admit(ports[lane], rewritten):
             self.cells_switched += 1
+
+    def _train_lane(self, ports: list, cells: list) -> Optional[int]:
+        """The single output lane all of a train's cells map to, or
+        None when any cell disagrees (the per-cell path must run so
+        its width-mismatch diagnostics fire exactly as before)."""
+        lane = -1
+        for cell in cells:
+            if cell.tx_index >= 0:
+                mapped = cell.tx_index % len(ports)
+                if cell.link_id >= 0 and cell.link_id != mapped:
+                    return None
+            else:
+                if cell.link_id >= len(ports):
+                    return None
+                mapped = cell.link_id % len(ports)
+            if lane < 0:
+                lane = mapped
+            elif mapped != lane:
+                return None
+        return lane
+
+    def input_train(self, train: CellTrain) -> Optional[tuple]:
+        """Absorb a whole cell train in one fused commit, if safe.
+
+        Safe means no per-cell effect can depend on event
+        interleaving: the cells' port is idle (no real backlog, no
+        cross traffic, not dead, no kill armed), carries no other
+        routed flow that could interleave, and cannot drop under the
+        occupancy cap during the span.  The commit then computes each
+        cell's full trajectory arithmetically -- service start chained
+        through the port's busy time, departure one service later --
+        and applies every counter, depth statistic, and EFCI mark the
+        per-cell path would have produced, in one event.
+
+        Returns ``(trunk_id, lane, cells_out, deps)`` where
+        ``cells_out`` are the rewritten cells and ``deps`` their
+        departure times, or None when the caller must expand the train
+        into the per-cell events the plain path would have run.
+        """
+        cells = train.cells
+        route = self._routes.get(cells[0].vci)
+        if route is None:
+            return None
+        trunk_id, out_vci = route
+        ports = self._trunks.get(trunk_id)
+        if ports is None:               # remote trunk: owning shard's
+            return None
+        if self._trunk_route_count.get(trunk_id, 0) != 1:
+            return None
+        lane = self._train_lane(ports, cells)
+        if lane is None:
+            return None
+        port = ports[lane]
+        if (port.fault_dead or port.no_fuse
+                or port.kill_at != float("inf")
+                or port.index.depth > 0):
+            return None
+        now = self.sim.now
+        n = len(cells)
+        pending = port.virtual.pending(now)
+        if (self.backpressure != "credit"
+                and len(pending) + n > self.port_queue_cells):
+            return None                 # the span could hit the cap
+        service = self.switching_delay_us + self.cell_time_us
+        times = train.times
+        busy = port.busy_until
+        efci_mode = self.backpressure == "efci"
+        threshold = self.efci_threshold_cells
+        n_pending = len(pending)
+        starts: list = []
+        deps: list = []
+        cells_out: list = []
+        push_start = starts.append
+        push_dep = deps.append
+        push_cell = cells_out.append
+        maxd = port.max_queue_seen
+        vp = 0      # virtual cells whose service started by arrival i
+        sp = 0      # train cells j < i whose service started by then
+        for i, arrival in enumerate(times):
+            cell = cells[i]
+            start = arrival if arrival > busy else busy
+            dep = start + service
+            busy = dep
+            while vp < n_pending and pending[vp] <= arrival:
+                vp += 1
+            while sp < i and starts[sp] <= arrival:
+                sp += 1
+            depth_before = (n_pending - vp) + (i - sp)
+            if depth_before + 1 > maxd:
+                maxd = depth_before + 1
+            push_start(start)
+            push_dep(dep)
+            push_cell(cell.rewrite(
+                out_vci, lane,
+                cell.efci or (efci_mode
+                              and depth_before >= threshold)))
+        port.virtual.commit(starts)
+        port.virtual_vci = out_vci
+        port.busy_until = busy
+        port.cells_enqueued += n
+        port.cells_forwarded += n
+        port.max_queue_seen = maxd
+        counters = port._counters(out_vci)
+        counters.enqueued += n
+        counters.forwarded += n
+        if maxd > counters.max_depth:
+            counters.max_depth = maxd
+        self.cells_switched += n
+        # This one event replaced n - 1 per-cell arrival events; the
+        # caller accounts for the drain events, which fold only where
+        # it does not re-materialize per-cell downstream events.
+        self.sim.events_absorbed += n - 1
+        self.sim.note_model_time(deps[-1])
+        return trunk_id, lane, cells_out, deps
 
     def _admit(self, port: _OutputPort, cell: Cell) -> bool:
         """Admission control for one port; returns False on a
@@ -350,8 +505,10 @@ class CellSwitch:
             port.lost_to_faults += 1
             self.cells_lost_to_faults += 1
             return False
+        virtual = (port.virtual.residual(self.sim.now)
+                   if port.virtual else 0)
         if (self.backpressure != "credit"
-                and port.depth >= self.port_queue_cells):
+                and port.depth + virtual >= self.port_queue_cells):
             victim = (port.push_out_longest(cell.vci)
                       if self.drain_policy == "rr" else None)
             if victim is None:
@@ -360,19 +517,31 @@ class CellSwitch:
                 return False
             self.dropped_queue_full += 1  # the pushed-out victim
         if (self.backpressure == "efci"
-                and port.depth >= self.efci_threshold_cells):
+                and port.depth + virtual >= self.efci_threshold_cells):
             cell.efci = True
-        port.enqueue(cell)
+        port.enqueue(cell,
+                     virtual if cell.vci == port.virtual_vci else 0,
+                     virtual)
         return True
 
     def _drain(self, port: _OutputPort,
                trunk_id: int) -> Generator[Any, Any, None]:
+        service = self.switching_delay_us + self.cell_time_us
         while True:
+            # A fused train commit may have claimed the port's service
+            # chain into the future: real cells wait their turn behind
+            # the virtually-occupying cells, exactly as they would have
+            # waited behind the same cells queued for real.
+            wait = port.busy_until - self.sim.now
+            if wait > 0.0:
+                yield Delay(wait)
+                continue
             cell = port.pop_next()
             if cell is None:
                 yield port.work
                 continue
-            yield Delay(self.switching_delay_us + self.cell_time_us)
+            port.busy_until = self.sim.now + service
+            yield Delay(service)
             port.record_forwarded(cell.vci)
             self._trunk_deliver[trunk_id](cell)
             hook = self._forward_hooks.get((trunk_id, cell.vci))
@@ -390,6 +559,8 @@ class CellSwitch:
                 f"cross-traffic rate must be positive, got {rate_mbps}")
         ports = self._trunks[trunk_id]
         port = ports[lane]
+        port.no_fuse = True     # trains can no longer assume the
+        #                         port carries a single routed flow
         interval = ATM_CELL_BYTES * 8.0 / rate_mbps
         stop_at = self.sim.now + duration_us
 

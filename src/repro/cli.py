@@ -114,7 +114,8 @@ def _cmd_cluster(args) -> None:
         "routing_seed": args.seed,
         "backpressure": args.backpressure,
         "credit_window_cells": args.window,
-        "drain_policy": args.drain}
+        "drain_policy": args.drain,
+        "trains": args.train}
     if args.faults:
         from .faults import FaultPlan
         # Port kills may name switches by topology coordinate
@@ -348,6 +349,13 @@ def build_parser() -> argparse.ArgumentParser:
                               "diagnosable error instead of hanging "
                               "when a flow is stalled this long with "
                               "zero refills")
+    cluster.add_argument("--train", action="store_true", default=True,
+                         help="cell-train fast path: carry uncontended "
+                              "cell bursts as single events (default; "
+                              "reports stay byte-identical)")
+    cluster.add_argument("--no-train", dest="train",
+                         action="store_false",
+                         help="force one event per cell everywhere")
     cluster.add_argument("--seed", type=int, default=1)
     cluster.add_argument("--sanitize", action="store_true",
                          help="enable the runtime sanitizers (SRSW "

@@ -77,7 +77,7 @@ from ..atm.striping import SkewModel, StripedLink
 from ..atm.switch import BACKPRESSURE_MODES, DRAIN_POLICIES, CellSwitch
 from ..faults import FaultPlan, FaultSite
 from ..hw.specs import STRIPE_LINKS, MachineSpec
-from ..sim import Fidelity, SimulationError, Simulator
+from ..sim import CellTrain, Fidelity, SimulationError, Simulator
 from ..topology import TOPOLOGIES, TopologySpec, build_ecmp_tables, build_spec
 from .backpressure import CreditGate
 
@@ -125,6 +125,55 @@ class Flow:
     dst_vci: int
 
 
+class _UplinkTrainPort:
+    """One uplink lane's emission helper for the cell-train fast path.
+
+    A :class:`~repro.atm.link.CellPipe` in fast mode calls back here
+    as each cell finishes serializing: ``emit_single`` schedules the
+    ordinary keyed boundary event (consuming the lane channel's next
+    sequence number, exactly as the per-cell path would), ``open``
+    starts a train whose event is keyed with the first cell's channel
+    position, ``append_bump`` burns one sequence number for a cell the
+    open train absorbed, and ``allowed`` asks the fabric whether this
+    cell's switch-arrival would stay on the local simulator -- trains
+    never cross shard boundaries.  ``allowed`` may depend on nothing
+    but the cell's VCI: burst submission checks it once per PDU.
+    """
+
+    __slots__ = ("fabric", "host_index", "switch_index", "chan")
+
+    def __init__(self, fabric: "Fabric", host_index: int,
+                 switch_index: int, lane: int):
+        self.fabric = fabric
+        self.host_index = host_index
+        self.switch_index = switch_index
+        self.chan = ("up", host_index, lane)
+
+    def allowed(self, cell) -> bool:
+        return self.fabric._train_local(self.switch_index,
+                                        self.host_index, cell)
+
+    def emit_single(self, arrival: float, cell) -> None:
+        fabric = self.fabric
+        key = fabric._chan_key(*self.chan)
+        fabric._emit_boundary(
+            arrival, key,
+            ("in", self.switch_index, self.host_index, cell))
+
+    def open(self, arrival: float, cell) -> CellTrain:
+        fabric = self.fabric
+        key = fabric._chan_key(*self.chan)
+        train = CellTrain([cell], [arrival], self.chan, key[-1])
+        fabric._emit_train(arrival, key, train, self.switch_index,
+                           self.host_index)
+        return train
+
+    def append_bump(self) -> None:
+        # open() seeded the channel's counter; a bare increment is
+        # the per-cell hot path's cheapest possible key burn.
+        self.fabric._chan_seq[self.chan] += 1
+
+
 class Fabric:
     """N hosts wired through one or more output-queued cell switches."""
 
@@ -148,6 +197,7 @@ class Fabric:
                  efci_threshold_cells: Optional[int] = None,
                  efci_pause_us: float = 60.0,
                  drain_policy: str = "rr",
+                 trains: bool = True,
                  faults: Optional[FaultPlan] = None,
                  credit_regen_timeout_us: Optional[float] = None,
                  credit_watchdog_us: Optional[float] = None,
@@ -216,6 +266,14 @@ class Fabric:
         self.efci_pause_us = efci_pause_us
         self.prop_delay_us = prop_delay_us
         self.drain_policy = drain_policy
+        # Cell-train fast path (repro.sim.trains): bursts of
+        # contiguous cells ride single events on uncontended segments.
+        # The direct topology keeps the per-cell pump -- it has no
+        # boundary channels for trains to ride.
+        self.trains = bool(trains) and topology != "direct"
+        # host index -> train-aware edge sink (benchmark harnesses):
+        # replaces per-cell delivery events for fused trains.
+        self._train_sinks: dict[int, object] = {}
         self.faults = faults
         self.credit_regen_timeout_us = credit_regen_timeout_us
         self.credit_watchdog_us = credit_watchdog_us
@@ -337,6 +395,128 @@ class Fabric:
         else:
             raise SimulationError(f"unknown boundary message {msg!r}")
 
+    # -- cell trains --------------------------------------------------------------
+
+    def _train_local(self, switch_index: int, host_index: int,
+                     cell) -> bool:
+        """May a train carry this cell to switch ``switch_index``?
+        The base fabric owns everything, so always; a shard permits it
+        only when the arrival would stay on its own simulator."""
+        return True
+
+    def _emit_train(self, when: float, key: tuple, train: CellTrain,
+                    switch_index: int, host_index: int) -> None:
+        """Schedule a train's single arrival event.  Always local:
+        trains form only when ``_train_local`` said the arrival stays
+        on this simulator."""
+        self.sim.call_at(
+            when,
+            lambda: self._apply_train(train, switch_index, host_index),
+            key=key)
+
+    def _apply_train(self, train: CellTrain, switch_index: int,
+                     host_index: int) -> None:
+        """A train's arrival event: fuse it into the switch, or expand
+        it back into the per-cell events the plain path would have run
+        (same times, same ordering keys)."""
+        train.fired = True
+        result = self.switches[switch_index].input_train(train)
+        if result is None:
+            # This event *is* the first cell's arrival; the rest get
+            # their own keyed events at their recorded times.
+            self._apply_boundary(("in", switch_index, host_index,
+                                  train.cells[0]))
+            for i in range(1, len(train.cells)):
+                self.sim.call_at(
+                    train.times[i],
+                    lambda m=("in", switch_index, host_index,
+                              train.cells[i]): self._apply_boundary(m),
+                    key=train.cell_key(i))
+            return
+        n = len(train.cells)
+        if host_index >= 0:
+            self._uplink_arrived[host_index] += n
+        else:
+            self._isw_in_flight -= n
+        self._dispatch_fused(switch_index, *result)
+
+    def _dispatch_fused(self, switch_index: int, trunk_id: int,
+                        lane: int, cells_out: list,
+                        deps: list) -> None:
+        """Downstream of a fused commit: the cells have left the
+        switch at the departure times the drain loop would have
+        produced; carry them over the trunk."""
+        kind, dest = self._trunk_dest[(switch_index, trunk_id)]
+        n = len(cells_out)
+        if kind == "host":
+            # Edge counters move at commit time so the conservation
+            # identity holds at every instant between here and the
+            # per-cell departures.
+            for cell in cells_out:
+                if cell.corrupted:
+                    self._corrupted[dest] += 1
+                else:
+                    self._delivered[dest] += 1
+            sink = self._train_sinks.get(dest)
+            if sink is not None:
+                # Benchmark-grade edge: the per-cell delivery events
+                # fold too.
+                self.sim.events_absorbed += n
+                sink(cells_out, deps)
+                return
+            board_deliver = self.hosts[dest].board.deliver_cell
+            hook = self.switches[switch_index].forward_hook(
+                trunk_id, cells_out[0].vci)
+            for cell, dep in zip(cells_out, deps):
+                self.sim.call_at(
+                    dep, self._edge_fire(cell, board_deliver, hook))
+            return
+        # Inter-switch hop: the n drain events fold into the commit
+        # (the next hop's arrival is one train event or the exact
+        # per-cell boundary messages).
+        self._isw_in_flight += n
+        self.sim.events_absorbed += n
+        prop = self.prop_delay_us
+        chan = ("isw", switch_index, dest, lane)
+        if self._train_local(dest, -1, cells_out[0]):
+            key = self._chan_key(*chan)
+            train = CellTrain([cells_out[0]], [deps[0] + prop], chan,
+                              key[-1])
+            for i in range(1, n):
+                self._chan_key(*chan)
+                train.cells.append(cells_out[i])
+                train.times.append(deps[i] + prop)
+            self._emit_train(train.times[0], key, train, dest, -1)
+        else:
+            for cell, dep in zip(cells_out, deps):
+                key = self._chan_key(*chan)
+                self._emit_boundary(dep + prop, key,
+                                    ("in", dest, -1, cell))
+
+    def _edge_fire(self, cell, board_deliver, hook):
+        """One fused cell's delivery event: everything the drain
+        loop's event did at this timestamp except the counting, which
+        moved to commit time."""
+        def fire() -> None:
+            if cell.efci:
+                self._note_efci(cell.vci)
+            board_deliver(cell)
+            if hook is not None:
+                hook()
+        return fire
+
+    def set_train_sink(self, host_index: int, sink) -> None:
+        """Replace per-cell edge delivery for fused trains into
+        ``host_index`` with one ``sink(cells, deps)`` call at commit
+        time -- the benchmark harness's zero-event edge.  Only an
+        open-loop fabric qualifies: credit and EFCI edges carry
+        per-cell control-plane work that must run at departure time."""
+        if self.backpressure != "none":
+            raise SimulationError(
+                "train sinks need backpressure='none': credit and "
+                "EFCI edges do per-cell control-plane work")
+        self._train_sinks[host_index] = sink
+
     # -- wiring ------------------------------------------------------------------
 
     def _wire_direct(self, prop_delay_us: float) -> None:
@@ -422,6 +602,9 @@ class Fabric:
                                  name=f"{host.name}.up")
             for pipe in uplink.pipes:
                 self._hook_uplink_pipe(i, k, pipe)
+                if self.trains:
+                    pipe.enable_trains(
+                        _UplinkTrainPort(self, i, k, pipe.link_id))
             self.uplinks.append(uplink)
             self._uplink_by_host[i] = uplink
             self._attach_fault_sites(i, uplink)
@@ -467,8 +650,10 @@ class Fabric:
                 continue
             site = self._fault_sites[f"up.h{flap.host}.l{flap.lane}"]
             until = flap.at_us + flap.duration_us
+            site.note_scheduled(flap.at_us)
             self.sim.call_at(
-                flap.at_us, lambda s=site, u=until: s.flap(u),
+                flap.at_us,
+                lambda s=site, u=until, a=flap.at_us: s.flap(u, a),
                 key=("fault", "flap", flap.host, flap.lane, i))
         for i, kill in enumerate(plan.lane_kills):
             self._check_lane(kill.host, kill.lane, "kill")
@@ -476,9 +661,11 @@ class Fabric:
                 continue
             site = self._fault_sites[f"up.h{kill.host}.l{kill.lane}"]
             uplink = self._uplink_by_host[kill.host]
+            site.note_scheduled(kill.at_us)
 
-            def fire_kill(s=site, up=uplink, lane=kill.lane) -> None:
-                s.kill()
+            def fire_kill(s=site, up=uplink, lane=kill.lane,
+                          a=kill.at_us) -> None:
+                s.kill(a)
                 up.degrade(lane)
 
             self.sim.call_at(kill.at_us, fire_kill,
@@ -496,6 +683,7 @@ class Fabric:
                 raise SimulationError(
                     f"fault plan kills unknown trunk {pk.trunk} on "
                     f"switch {pk.switch}")
+            sw.arm_port_kill(pk.trunk, pk.lane, pk.at_us)
             self.sim.call_at(
                 pk.at_us,
                 lambda s=sw, t=pk.trunk, ln=pk.lane: s.kill_port(t, ln),

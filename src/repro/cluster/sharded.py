@@ -94,6 +94,16 @@ class ShardFabric(Fabric):
 
     # -- boundary routing ---------------------------------------------------------
 
+    def _train_local(self, switch_index: int, host_index: int,
+                     cell) -> bool:
+        # Trains never cross a shard boundary: a mailboxed train could
+        # not accept appends consistently across backends (the proc
+        # backend pickles a snapshot, the inline backend shares the
+        # object).  Cells bound for another shard take per-cell
+        # boundary messages, exactly as without trains.
+        return self._dest_shard(("in", switch_index, host_index,
+                                 cell)) == self.shard_index
+
     def _dest_shard(self, msg: tuple) -> int:
         kind = msg[0]
         if kind == "in":
@@ -176,6 +186,7 @@ class _ShardProgram:
         return {
             "shard": fabric.shard_index,
             "events_processed": fabric.sim.events_processed,
+            "events_absorbed": fabric.sim.events_absorbed,
             "hosts": {i: asdict(host.stats())
                       for i, host in enumerate(fabric.hosts)
                       if host is not None},

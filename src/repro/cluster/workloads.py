@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Generator
+from typing import Any, Callable, Generator, Optional
 
 from ..sim import Delay, SimulationError, spawn
 from ..xkernel.protocols.rpc import RpcClient, RpcProtocol, RpcServer
@@ -218,12 +218,23 @@ def setup_workload(fabric: Fabric,
     return clients, finishers
 
 
-def run_workload(fabric: Fabric, spec: WorkloadSpec) -> WorkloadResult:
+def run_workload(fabric: Fabric, spec: WorkloadSpec,
+                 max_events: Optional[int] = None) -> WorkloadResult:
     """Set up every client of ``spec`` on ``fabric``, run the
-    simulation to quiescence, and aggregate the results."""
+    simulation to quiescence, and aggregate the results.
+
+    ``max_events`` turns a hang into a diagnosable failure: every
+    result this function returns is from a *drained* fabric, so
+    callers that assume completion (the chaos harness, the benches)
+    pass a budget and get an exception instead of truncated numbers.
+    """
     clients, finishers = setup_workload(fabric, spec)
     start = fabric.sim.now
-    fabric.sim.run()
+    executed = fabric.sim.run(max_events)
+    if max_events is not None and executed >= max_events:
+        raise SimulationError(
+            f"workload did not quiesce within {max_events} events -- "
+            f"refusing to report a truncated run as complete")
     for finish in finishers:
         finish()
     return WorkloadResult(spec=spec, clients=clients,

@@ -102,7 +102,11 @@ def run_scenario(scenario: dict, shard_counts: tuple[int, ...] = (1, 2),
     for k in shard_counts:
         if k == 1:
             fabric = Fabric(**scenario["fabric_kwargs"])
-            result = run_workload(fabric, scenario["spec"])
+            # Invariants 1 and 2 below only mean anything on a run
+            # that actually quiesced; the budget turns a stalled
+            # fabric into an error instead of a bogus "ok".
+            result = run_workload(fabric, scenario["spec"],
+                                  max_events=50_000_000)
             reports[k] = collect(fabric, result)
         else:
             reports[k], _run = run_cluster_sharded(

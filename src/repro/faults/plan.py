@@ -219,6 +219,12 @@ class FaultSite:
     dead: bool = False
     down_until: float = 0.0
     _key: int = field(default=0, repr=False)
+    # Times of scheduled state changes (flaps, kills) not yet applied,
+    # sorted ascending.  The fast path (repro.sim.trains) may decide a
+    # cell's fate arithmetically at submission time only while no
+    # scheduled change lies between now and the cell's serialization
+    # completion; otherwise it falls back to per-cell events.
+    _scheduled: list = field(default_factory=list, repr=False)
 
     def __post_init__(self) -> None:
         self._key = fast_crc32(self.name.encode("ascii"))
@@ -226,11 +232,32 @@ class FaultSite:
     def is_down(self, now: float) -> bool:
         return self.dead or now < self.down_until
 
-    def kill(self) -> None:
+    def note_scheduled(self, at_us: float) -> None:
+        """Register a future flap/kill so fast paths know when the
+        site's state stops being predictable."""
+        self._scheduled.append(at_us)
+        self._scheduled.sort()
+
+    def next_scheduled(self) -> float:
+        """Time of the earliest pending scheduled change (inf when
+        the site's state is stable from here on)."""
+        return self._scheduled[0] if self._scheduled else float("inf")
+
+    def _consume_scheduled(self, at_us: float) -> None:
+        try:
+            self._scheduled.remove(at_us)
+        except ValueError:
+            pass
+
+    def kill(self, at_us: "float | None" = None) -> None:
+        if at_us is not None:
+            self._consume_scheduled(at_us)
         self.dead = True
 
-    def flap(self, until_us: float) -> None:
+    def flap(self, until_us: float, at_us: "float | None" = None) -> None:
         """Take the site down until ``until_us`` (overlaps extend)."""
+        if at_us is not None:
+            self._consume_scheduled(at_us)
         self.down_until = max(self.down_until, until_us)
 
     def filter(self, cell, now: float):

@@ -8,6 +8,7 @@ from .process import (
 )
 from .resources import Grant, Resource, Store
 from .trace import Counter, Series, Throughput, mbps_from_bytes
+from .trains import CellTrain
 from .tracing import (
     TraceRecord, Tracer, attach_board_tracer, attach_driver_tracer,
 )
@@ -16,7 +17,7 @@ __all__ = [
     "Simulator", "SimulationError", "Timer", "NO_KEY",
     "run_shards", "ParallelRunResult", "BACKENDS",
     "Delay", "Signal", "Latch", "Process", "Interrupted", "spawn", "all_of",
-    "Resource", "Grant", "Store",
+    "Resource", "Grant", "Store", "CellTrain",
     "Counter", "Series", "Throughput", "mbps_from_bytes",
     "Tracer", "TraceRecord", "attach_board_tracer", "attach_driver_tracer",
     "Fidelity",

@@ -116,9 +116,19 @@ class Simulator:
         self._now = 0.0
         self._running = False
         self.events_processed = 0
-        # Timestamp of the last event actually executed -- unlike
-        # `now`, never advanced by run_until/advance_to clamping.
-        self.last_event_time = 0.0
+        # Per-cell operations a fast path (repro.sim.trains) folded
+        # into arithmetic instead of heap events.  events_processed +
+        # events_absorbed is the *model* event count -- comparable
+        # across train and per-cell runs of the same workload.
+        self.events_absorbed = 0
+        self._last_event_time = 0.0
+        # Latest model time a fast path computed arithmetically (a
+        # folded serialization or drain completion).  Folded work can
+        # postdate every heap event -- e.g. a cell lost on the wire
+        # whose serialization delay was the run's final occurrence --
+        # so `now` is bumped to this on drain and `last_event_time`
+        # reports the max of both.
+        self._model_last = 0.0
         self.sanitizer = (_sanitizer_factory()
                           if _sanitizer_factory is not None else None)
 
@@ -126,6 +136,21 @@ class Simulator:
     def now(self) -> float:
         """Current simulation time in microseconds."""
         return self._now
+
+    @property
+    def last_event_time(self) -> float:
+        """Timestamp of the last event executed *or* folded -- unlike
+        `now`, never advanced by run_until/advance_to clamping."""
+        if self._model_last > self._last_event_time:
+            return self._model_last
+        return self._last_event_time
+
+    def note_model_time(self, time: float) -> None:
+        """Record that folded (non-event) model work occurred at
+        ``time``.  Fast paths call this for every per-cell operation
+        they absorb, so quiescence time matches the per-cell run."""
+        if time > self._model_last:
+            self._model_last = time
 
     def call_at(self, time: float, callback: Callable[[], None],
                 key: tuple = NO_KEY) -> Timer:
@@ -182,7 +207,7 @@ class Simulator:
             if entry is None:
                 continue                      # cancelled
             self._now = time
-            self.last_event_time = time
+            self._last_event_time = time
             self.events_processed += 1
             if self.sanitizer is not None:
                 self.sanitizer.on_event(time)
@@ -190,8 +215,14 @@ class Simulator:
             return True
         return False
 
-    def run(self, max_events: Optional[int] = None) -> None:
-        """Run until the event queue drains (or ``max_events`` fire)."""
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the event queue drains (or ``max_events`` fire).
+
+        Returns the number of events executed, so callers can tell a
+        drained queue from an exhausted budget: the queue drained iff
+        the return value is below ``max_events`` (always, when no
+        budget was given).
+        """
         if self._running:
             raise SimulationError("simulator is already running")
         self._running = True
@@ -200,7 +231,12 @@ class Simulator:
             while self.step():
                 count += 1
                 if max_events is not None and count >= max_events:
-                    return
+                    return count
+            # Drained.  Folded model work may postdate the last heap
+            # event; land the clock where the per-cell run would.
+            if self._model_last > self._now:
+                self._now = self._model_last
+            return count
         finally:
             self._running = False
 

@@ -52,6 +52,7 @@ class ParallelRunResult:
     partials: list              # one collect() result per shard
     windows: int                # synchronization barriers executed
     events_processed: int       # summed over shards
+    events_absorbed: int = 0    # per-cell events folded into trains
 
 
 # ---------------------------------------------------------------------------
@@ -75,7 +76,8 @@ def _serve(factory: Callable, index: int, recv: Callable,
                 send(("report", program.sim.peek(),
                       program.drain_outbox(),
                       program.sim.last_event_time,
-                      program.sim.events_processed))
+                      program.sim.events_processed,
+                      program.sim.events_absorbed))
             elif op == "probe":
                 send(("counters", program.probe()))
             elif op == "collect":
@@ -133,7 +135,8 @@ class _InlineChannel(_Channel):
             self._reply = ("report", program.sim.peek(),
                            program.drain_outbox(),
                            program.sim.last_event_time,
-                           program.sim.events_processed)
+                           program.sim.events_processed,
+                           program.sim.events_absorbed)
         elif op == "probe":
             self._reply = ("counters", program.probe())
         elif op == "collect":
@@ -249,6 +252,7 @@ def run_shards(factory: Callable, n_shards: int, window_us: float,
         inboxes: list[list] = [[] for _ in range(n_shards)]
         lasts = [0.0] * n_shards
         events = [0] * n_shards
+        absorbed = [0] * n_shards
         windows = 0
 
         while True:
@@ -301,10 +305,12 @@ def run_shards(factory: Callable, n_shards: int, window_us: float,
                 channel.send(("window", horizon, inboxes[i]))
                 inboxes[i] = []
             for i in active:
-                _, peek, outbox, last, n_events = channels[i].recv()
+                (_, peek, outbox, last, n_events,
+                 n_absorbed) = channels[i].recv()
                 peeks[i] = peek
                 lasts[i] = last
                 events[i] = n_events
+                absorbed[i] = n_absorbed
                 for dest, when, key, msg in outbox:
                     inboxes[dest].append((when, key, msg))
             windows += 1
@@ -322,7 +328,8 @@ def run_shards(factory: Callable, n_shards: int, window_us: float,
             channel.send(("stop",))
         return ParallelRunResult(t_end=t_end, partials=partials,
                                  windows=windows,
-                                 events_processed=sum(events))
+                                 events_processed=sum(events),
+                                 events_absorbed=sum(absorbed))
     finally:
         for channel in channels:
             channel.close()

@@ -36,6 +36,55 @@ from collections import deque
 from typing import Optional
 
 
+class VirtualOccupancy:
+    """Occupancy of cells a fused train committed past this queue.
+
+    When a :class:`~repro.sim.trains.CellTrain` is absorbed at a
+    switch port, its cells never enter the real queue -- their whole
+    trajectory (arrival, service start, departure) is computed at
+    commit time.  They still occupy the port for real simulated time,
+    so admission checks, congestion thresholds, and depth statistics
+    for any *later* per-cell arrival must see them.  This tracker
+    holds the committed cells' service-start times; a cell occupies
+    the queue from its (already accounted) arrival until its service
+    starts, so the residual at ``now`` is the count of starts still in
+    the future.
+
+    Starts are committed in nondecreasing order (the port's busy time
+    only moves forward), so the deque stays sorted and both
+    operations are O(1) amortized.
+    """
+
+    __slots__ = ("_starts",)
+
+    def __init__(self) -> None:
+        self._starts: deque = deque()
+
+    def commit(self, starts) -> None:
+        """Record committed cells' service-start times (ascending)."""
+        self._starts.extend(starts)
+
+    def residual(self, now: float) -> int:
+        """Committed cells still occupying the queue at ``now``.
+
+        A start at exactly ``now`` counts as popped: service begins in
+        an unkeyed (drain) event, which sorts before any keyed arrival
+        at the same timestamp.
+        """
+        starts = self._starts
+        while starts and starts[0] <= now:
+            starts.popleft()
+        return len(starts)
+
+    def pending(self, now: float) -> list:
+        """The residual cells' service-start times, ascending."""
+        self.residual(now)
+        return list(self._starts)
+
+    def __bool__(self) -> bool:
+        return bool(self._starts)
+
+
 class ActiveQueueIndex:
     """Per-VCI cell queues with O(1) drain, FIFO, and longest-queue
     operations, independent of how many VCIs are live."""
@@ -155,4 +204,4 @@ class ActiveQueueIndex:
         return cell
 
 
-__all__ = ["ActiveQueueIndex"]
+__all__ = ["ActiveQueueIndex", "VirtualOccupancy"]
