@@ -164,7 +164,8 @@ def _cmd_cluster(args) -> None:
             from .cluster.sharded import run_cluster_sharded
             report, _run = run_cluster_sharded(
                 fabric_kwargs, spec, args.shards,
-                backend=args.shard_backend, sanitize=args.sanitize)
+                backend=args.shard_backend, sanitize=args.sanitize,
+                coalesce=args.coalesce)
             print(report.to_json() if args.json else report.render())
             return
         if args.sweep:
@@ -332,6 +333,17 @@ def build_parser() -> argparse.ArgumentParser:
                          help="execution backend for --shards > 1: "
                               "processes (parallel), threads, or an "
                               "in-process loop (debugging)")
+    cluster.add_argument("--coalesce", action="store_true",
+                         default=True,
+                         help="adaptive window coalescing: shards "
+                              "that provably cannot emit cross-shard "
+                              "messages stop bounding their peers' "
+                              "horizons (default; reports stay "
+                              "byte-identical)")
+    cluster.add_argument("--no-coalesce", dest="coalesce",
+                         action="store_false",
+                         help="classic fixed-width windows (one "
+                              "lookahead per barrier)")
     cluster.add_argument("--faults", default=None, metavar="SPEC",
                          help="fault plan, e.g. 'loss=0.01,corrupt="
                               "0.001,flap=2:1@500+200,kill=0:3@1000,"

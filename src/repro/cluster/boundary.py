@@ -1,0 +1,361 @@
+"""Compact transport encoding for cross-shard boundary messages.
+
+The window engine exchanges ``(when, key, msg)`` tuples between shard
+simulators at every barrier.  Generic pickling of those tuples is the
+dominant per-message cost on the proc backend: a single uplink-arrival
+tuple (a :class:`~repro.atm.cell.Cell` inside) pickles to ~220 bytes
+and exercises the full reduce protocol both ways.  This module packs
+the same information into fixed-width little-endian records -- the
+queue-management literature's answer to the same problem in network
+processors: when every message has one of a few known shapes, a
+struct beats a serializer.
+
+A batch is::
+
+    header:   version u8, record count u32,
+              payload-pool offset u32, pool entry count u16
+    records:  kind u8, when f64, then a kind-specific body
+    pool:     entries of (length u8, raw bytes)
+
+Fixed-width bodies exist for every boundary message the fabric emits
+-- ``("in", switch, host, Cell)`` uplink arrivals and inter-switch
+hops, ``("refill", src, vci)`` credit returns, ``("pause", src, vci)``
+EFCI relays -- with the ordering key (tag + u16 ids + a u32 channel
+counter) alongside.  Cell payloads are deduplicated through the
+per-batch pool: cells of one message carry identical fill bytes, so a
+batch stores the 44-byte chunk once and each record a u16 reference.
+Anything a fixed record cannot express exactly (out-of-range ids, an
+exotic key, a non-float timestamp, a pool overflow) takes a
+length-prefixed pickle *escape record*, so
+``decode_batch(encode_batch(batch)) == batch`` holds for arbitrary
+input, not just the happy path.
+
+``encode_into`` packs straight into any writable buffer -- the proc
+backend hands it the shared-memory mapping, so a worker's outbox is
+serialized exactly once, in place, with no intermediate bytes object.
+The version byte is checked on decode: a coordinator and a worker
+disagreeing about record layout must fail loudly, not misparse.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+
+from ..atm.cell import Cell
+from ..sim import SimulationError
+
+CODEC_VERSION = 1
+
+_HEADER = struct.Struct("<BIIH")     # version, records, pool off, pool n
+_PREFIX = struct.Struct("<Bd")       # record kind, when
+# Ordering keys: tag byte, per-tag id count as u16s, u32 counter.
+_KEY_BY_ARITY = (None,
+                 struct.Struct("<BHI"),
+                 struct.Struct("<BHHI"),
+                 struct.Struct("<BHHHI"))
+# "in" body: switch u16, host i16 (-1 = inter-switch hop), vci u16,
+# flag bits u8, link_id i8, tx_index i32, payload pool reference u16.
+_CELL_MSG = struct.Struct("<HhHBbiH")
+_SEQ = struct.Struct("<Q")           # appended when _F_HAS_SEQ is set
+_CTRL_MSG = struct.Struct("<HH")     # refill/pause: src host, vci
+_ESCAPE_HDR = struct.Struct("<I")    # pickled byte length
+
+_KIND_IN = 0
+_KIND_REFILL = 1
+_KIND_PAUSE = 2
+_KIND_ESCAPE = 255
+
+_KEY_TAGS = {"up": 0, "isw": 1, "credit": 2, "efci": 3}
+_KEY_ARITY = {"up": 2, "isw": 3, "credit": 1, "efci": 1}
+_TAG_NAMES = {code: name for name, code in sorted(_KEY_TAGS.items())}
+_TAG_ARITY = {code: _KEY_ARITY[name]
+              for name, code in sorted(_KEY_TAGS.items())}
+
+_U16 = 1 << 16
+_U32 = 1 << 32
+_U64 = 1 << 64
+_I8 = 1 << 7
+_I16 = 1 << 15
+_I32 = 1 << 31
+
+_F_EOM = 1
+_F_ATM_LAST = 2
+_F_EFCI = 4
+_F_CORRUPTED = 8
+_F_HAS_SEQ = 16
+
+_POOL_MAX = 0xFFFF
+
+
+def _key_fields(key):
+    """``(tag, ids, counter)`` for a fixed-width ordering key, or
+    None if the key needs the escape record."""
+    if not isinstance(key, tuple) or not key \
+            or not isinstance(key[0], str):
+        return None
+    arity = _KEY_ARITY.get(key[0])
+    if arity is None or len(key) != arity + 2:
+        return None
+    ids = key[1:-1]
+    counter = key[-1]
+    for value in ids:
+        if type(value) is not int or not 0 <= value < _U16:
+            return None
+    if type(counter) is not int or not 0 <= counter < _U32:
+        return None
+    return (_KEY_TAGS[key[0]], ids, counter)
+
+
+def _cell_fields(cell):
+    """``(vci, flags, seq, link_id, tx_index, payload)`` if the cell
+    fits the fixed record exactly, else None."""
+    if cell.__class__ is not Cell:
+        return None
+    if type(cell.vci) is not int or not 0 <= cell.vci < _U16:
+        return None
+    seq = cell.seq
+    flags = 0
+    if cell.eom:
+        flags |= _F_EOM
+    if cell.atm_last:
+        flags |= _F_ATM_LAST
+    if cell.efci:
+        flags |= _F_EFCI
+    if cell.corrupted:
+        flags |= _F_CORRUPTED
+    if seq is not None:
+        if type(seq) is not int or not 0 <= seq < _U64:
+            return None
+        flags |= _F_HAS_SEQ
+    else:
+        seq = 0
+    if not -_I8 <= cell.link_id < _I8 \
+            or not -_I32 <= cell.tx_index < _I32:
+        return None
+    payload = cell.payload
+    if type(payload) is not bytes or len(payload) > 44:
+        return None
+    return (cell.vci, flags, seq, cell.link_id, cell.tx_index, payload)
+
+
+def _make_cell(vci, flags, seq, link_id, tx_index, payload):
+    # Mirrors Cell.rewrite(): bypass __init__ -- the fields were
+    # validated when the cell was first built on the emitting shard.
+    cell = Cell.__new__(Cell)
+    cell.vci = vci
+    cell.payload = payload
+    cell.eom = bool(flags & _F_EOM)
+    cell.seq = seq if flags & _F_HAS_SEQ else None
+    cell.atm_last = bool(flags & _F_ATM_LAST)
+    cell.link_id = link_id
+    cell.tx_index = tx_index
+    cell.efci = bool(flags & _F_EFCI)
+    cell.corrupted = bool(flags & _F_CORRUPTED)
+    return cell
+
+
+class BoundaryCodec:
+    """Encode/decode batches of boundary ``(when, key, msg)`` tuples.
+
+    One instance per worker: the scratch buffer and pool state are
+    reused across batches and must not be shared between threads.
+    """
+
+    version = CODEC_VERSION
+
+    def __init__(self):
+        self._scratch = bytearray(4096)
+        self._pool: list = []
+        self._pool_map: dict = {}
+
+    # -- encoding ----------------------------------------------------------------
+
+    def encode_batch(self, batch: list) -> bytes:
+        """Serialize ``batch`` to a standalone bytes object."""
+        buf = self._scratch
+        while True:
+            end = self.encode_into(batch, buf, 0)
+            if end is not None:
+                return bytes(memoryview(buf)[:end])
+            buf = self._scratch = bytearray(2 * len(buf))
+
+    def encode_into(self, batch: list, buf, offset: int):
+        """Pack ``batch`` into writable buffer ``buf`` starting at
+        ``offset``.  Returns the end offset, or None if the batch does
+        not fit (bytes past ``offset`` are then undefined)."""
+        cap = len(buf)
+        pool = self._pool
+        pool.clear()
+        self._pool_map.clear()
+        off = offset + _HEADER.size
+        if off > cap:
+            return None
+        for when, key, msg in batch:
+            off = self._pack_record(buf, cap, off, when, key, msg)
+            if off is None:
+                return None
+        pool_at = off
+        for payload in pool:
+            n = len(payload)
+            # Cell payloads are overwhelmingly a repeated fill byte
+            # (the test programs send patterned messages), so a
+            # run-length pool entry covers them in two bytes.
+            if n and payload.count(payload[0]) == n:
+                if off + 2 > cap:
+                    return None
+                buf[off] = 0x80 | n
+                buf[off + 1] = payload[0]
+                off += 2
+            else:
+                if off + 1 + n > cap:
+                    return None
+                buf[off] = n
+                buf[off + 1:off + 1 + n] = payload
+                off += 1 + n
+        _HEADER.pack_into(buf, offset, CODEC_VERSION, len(batch),
+                          pool_at - offset, len(pool))
+        return off
+
+    def _pool_ref(self, payload):
+        ref = self._pool_map.get(payload)
+        if ref is None:
+            ref = len(self._pool)
+            if ref >= _POOL_MAX:
+                return None
+            self._pool_map[payload] = ref
+            self._pool.append(payload)
+        return ref
+
+    def _pack_record(self, buf, cap, off, when, key, msg):
+        fields = _key_fields(key)
+        if fields is not None and type(when) is float \
+                and isinstance(msg, tuple):
+            tag, ids, counter = fields
+            key_struct = _KEY_BY_ARITY[len(ids)]
+            mkind = msg[0]
+            if mkind == "in" and len(msg) == 4:
+                _, switch, host, cell = msg
+                cell_fields = _cell_fields(cell)
+                ref = None
+                if cell_fields is not None \
+                        and type(switch) is int and 0 <= switch < _U16 \
+                        and type(host) is int and -_I16 <= host < _I16:
+                    ref = self._pool_ref(cell_fields[5])
+                if ref is not None:
+                    vci, flags, seq, link_id, tx_index, _p = cell_fields
+                    need = (_PREFIX.size + key_struct.size
+                            + _CELL_MSG.size
+                            + (_SEQ.size if flags & _F_HAS_SEQ else 0))
+                    if off + need > cap:
+                        return None
+                    _PREFIX.pack_into(buf, off, _KIND_IN, when)
+                    key_struct.pack_into(buf, off + _PREFIX.size,
+                                         tag, *ids, counter)
+                    body = off + _PREFIX.size + key_struct.size
+                    _CELL_MSG.pack_into(buf, body, switch, host, vci,
+                                        flags, link_id, tx_index, ref)
+                    if flags & _F_HAS_SEQ:
+                        _SEQ.pack_into(buf, body + _CELL_MSG.size, seq)
+                    return off + need
+            elif mkind in ("refill", "pause") and len(msg) == 3:
+                _, src, vci = msg
+                if type(src) is int and 0 <= src < _U16 \
+                        and type(vci) is int and 0 <= vci < _U16:
+                    kind = (_KIND_REFILL if mkind == "refill"
+                            else _KIND_PAUSE)
+                    need = (_PREFIX.size + key_struct.size
+                            + _CTRL_MSG.size)
+                    if off + need > cap:
+                        return None
+                    _PREFIX.pack_into(buf, off, kind, when)
+                    key_struct.pack_into(buf, off + _PREFIX.size,
+                                         tag, *ids, counter)
+                    _CTRL_MSG.pack_into(
+                        buf, off + _PREFIX.size + key_struct.size,
+                        src, vci)
+                    return off + need
+        # Escape hatch: exact round-trip for anything else.  The
+        # prefix timestamp is advisory on this path (the decoder uses
+        # the pickled tuple), so a non-numeric ``when`` packs as 0.
+        blob = pickle.dumps((when, key, msg),
+                            protocol=pickle.HIGHEST_PROTOCOL)
+        need = _PREFIX.size + _ESCAPE_HDR.size + len(blob)
+        if off + need > cap:
+            return None
+        try:
+            advisory = float(when)
+        except (TypeError, ValueError):
+            advisory = 0.0
+        _PREFIX.pack_into(buf, off, _KIND_ESCAPE, advisory)
+        _ESCAPE_HDR.pack_into(buf, off + _PREFIX.size, len(blob))
+        start = off + _PREFIX.size + _ESCAPE_HDR.size
+        buf[start:start + len(blob)] = blob
+        return off + need
+
+    # -- decoding ----------------------------------------------------------------
+
+    def decode_batch(self, data) -> list:
+        """Inverse of :meth:`encode_batch`/:meth:`encode_into` output.
+        Accepts any readable buffer (bytes, bytearray, a memoryview
+        over shared memory)."""
+        version, count, pool_at, pool_n = _HEADER.unpack_from(data, 0)
+        if version != CODEC_VERSION:
+            raise SimulationError(
+                f"boundary codec version mismatch: record says "
+                f"{version}, this build speaks {CODEC_VERSION}")
+        pool = []
+        p = pool_at
+        for _ in range(pool_n):
+            meta = data[p]
+            plen = meta & 0x7F
+            if meta & 0x80:                      # run-length entry
+                pool.append(bytes((data[p + 1],)) * plen)
+                p += 2
+            else:
+                pool.append(bytes(data[p + 1:p + 1 + plen]))
+                p += 1 + plen
+        off = _HEADER.size
+        out = []
+        for _ in range(count):
+            kind, when = _PREFIX.unpack_from(data, off)
+            off += _PREFIX.size
+            if kind == _KIND_ESCAPE:
+                (blob_len,) = _ESCAPE_HDR.unpack_from(data, off)
+                off += _ESCAPE_HDR.size
+                out.append(pickle.loads(bytes(data[off:off + blob_len])))
+                off += blob_len
+                continue
+            tag = data[off]
+            name = _TAG_NAMES.get(tag)
+            if name is None:
+                raise SimulationError(
+                    f"boundary codec: unknown key tag {tag}")
+            key_struct = _KEY_BY_ARITY[_TAG_ARITY[tag]]
+            unpacked = key_struct.unpack_from(data, off)
+            key = (name, *unpacked[1:])
+            off += key_struct.size
+            if kind == _KIND_IN:
+                (switch, host, vci, flags, link_id, tx_index,
+                 ref) = _CELL_MSG.unpack_from(data, off)
+                off += _CELL_MSG.size
+                seq = 0
+                if flags & _F_HAS_SEQ:
+                    (seq,) = _SEQ.unpack_from(data, off)
+                    off += _SEQ.size
+                msg = ("in", switch, host,
+                       _make_cell(vci, flags, seq, link_id, tx_index,
+                                  pool[ref]))
+            elif kind in (_KIND_REFILL, _KIND_PAUSE):
+                src, vci = _CTRL_MSG.unpack_from(data, off)
+                off += _CTRL_MSG.size
+                msg = ("refill" if kind == _KIND_REFILL else "pause",
+                       src, vci)
+            else:
+                raise SimulationError(
+                    f"boundary codec: unknown record kind {kind}")
+            out.append((when, key, msg))
+        return out
+
+
+__all__ = ["BoundaryCodec", "CODEC_VERSION"]

@@ -36,10 +36,12 @@ from __future__ import annotations
 
 import functools
 from dataclasses import asdict
+from typing import Optional
 
 from ..sim import SimulationError
 from ..sim.parallel import BACKENDS, ParallelRunResult, run_shards
 from ..topology import partition_hosts, partition_switches
+from .boundary import BoundaryCodec
 from .fabric import Fabric
 from .metrics import ClusterReport
 from .workloads import (
@@ -68,6 +70,7 @@ class ShardFabric(Fabric):
         self.shard_index = shard_index
         self.n_shards = n_shards
         self._outbox: list = []
+        self._may_emit_cache: Optional[bool] = None
         super().__init__(**fabric_kwargs)
 
     # -- ownership ---------------------------------------------------------------
@@ -127,7 +130,78 @@ class ShardFabric(Fabric):
         if dest == self.shard_index:
             super()._emit_boundary(when, key, msg)
         else:
+            if not self.may_emit_boundary():
+                # The window engine may already have let a peer run
+                # past this message's timestamp on the strength of the
+                # capability analysis -- a silent send here would be
+                # causality violation, not a recoverable hiccup.
+                raise SimulationError(
+                    f"shard {self.shard_index} emitted a boundary "
+                    f"message {msg[0]!r} for shard {dest} although "
+                    "its flow table says it never can; the window "
+                    "coalescing analysis missed an emission path")
             self._outbox.append((dest, when, key, msg))
+
+    # -- emission capability (window coalescing) ----------------------------------
+
+    def open_flow(self, src: int, dst: int,
+                  src_vci: Optional[int] = None,
+                  dst_vci: Optional[int] = None):
+        self._may_emit_cache = None     # routes changed; re-derive
+        return super().open_flow(src, dst, src_vci=src_vci,
+                                 dst_vci=dst_vci)
+
+    def may_emit_boundary(self) -> bool:
+        """Can any future event on this shard emit a cross-shard
+        boundary message?
+
+        A pure function of the flow table: every boundary emission --
+        uplink arrival, inter-switch hop, credit return, EFCI relay --
+        originates from a cell traveling an installed route or from
+        the control plumbing attached to one.  Cross traffic cannot
+        cross shards (filler VCIs have no route, so the drop lands on
+        the local replica) and cell trains never leave a shard by
+        construction.  The window engine trusts this bit to widen its
+        horizons, so :meth:`_emit_boundary` re-checks it on every
+        actual cross-shard send.
+        """
+        if self._may_emit_cache is None:
+            self._may_emit_cache = self._compute_may_emit()
+        return self._may_emit_cache
+
+    def _compute_may_emit(self) -> bool:
+        me = self.shard_index
+        backpressured = self.backpressure != "none"
+        for flow in self.flows:
+            for src, dst, vci in ((flow.src, flow.dst, flow.src_vci),
+                                  (flow.dst, flow.src, flow.dst_vci)):
+                if backpressured and self._host_shard[dst] == me \
+                        and self._host_shard[src] != me:
+                    # Credit returns / EFCI relays fire where the cell
+                    # is delivered and land at the source's gate.
+                    return True
+                # Walk the cell path shard to shard: each hop's switch
+                # work runs on the shard owning the *receiving* ports,
+                # so an emission happens wherever consecutive owners
+                # differ and this shard is the emitter.  Transit hops
+                # carry the input VCI unrewritten, so route_for(vci)
+                # is valid at every switch on the path.
+                owner = self._host_shard[src]
+                switch = self._attach[src][0]
+                for _hop in range(len(self.switches) + 1):
+                    route = self.switches[switch].route_for(vci)
+                    if route is None:
+                        break           # unroutable: dropped locally
+                    trunk_id, _out_vci = route
+                    kind, idx = self._trunk_dest[(switch, trunk_id)]
+                    nxt = (self._host_shard[idx] if kind == "host"
+                           else self._switch_shard[idx])
+                    if owner == me and nxt != me:
+                        return True
+                    if kind == "host":
+                        break
+                    owner, switch = nxt, idx
+        return False
 
     def drain_outbox(self) -> list:
         out, self._outbox = self._outbox, []
@@ -142,14 +216,24 @@ class ShardFabric(Fabric):
 
 
 class _ShardProgram:
-    """What the window engine drives: one shard's fabric + clients."""
+    """What the window engine drives: one shard's fabric + clients.
+
+    ``codec`` (a :class:`~repro.cluster.boundary.BoundaryCodec`, or
+    None for the legacy pickled-tuple transport) tells the engine how
+    to move this shard's boundary batches; ``may_emit`` feeds the
+    adaptive window coalescing.
+    """
 
     def __init__(self, fabric: ShardFabric, clients: list,
-                 finishers: list):
+                 finishers: list, codec: Optional[BoundaryCodec] = None):
         self.fabric = fabric
         self.sim = fabric.sim
         self.clients = clients
         self.finishers = finishers
+        self.codec = codec
+
+    def may_emit(self) -> bool:
+        return self.fabric.may_emit_boundary()
 
     def deliver(self, batch: list) -> None:
         self.fabric.deliver(batch)
@@ -234,8 +318,8 @@ class _ShardProgram:
 
 
 def _build_shard(index: int, n_shards: int, fabric_kwargs: dict,
-                 spec: WorkloadSpec,
-                 sanitize: bool = False) -> _ShardProgram:
+                 spec: WorkloadSpec, sanitize: bool = False,
+                 transport: str = "struct") -> _ShardProgram:
     """Worker-side constructor (module-level so it crosses into a
     child process)."""
     if sanitize:
@@ -245,7 +329,8 @@ def _build_shard(index: int, n_shards: int, fabric_kwargs: dict,
         _sanitize.enable()
     fabric = ShardFabric(index, n_shards, **fabric_kwargs)
     clients, finishers = setup_workload(fabric, spec)
-    return _ShardProgram(fabric, clients, finishers)
+    codec = BoundaryCodec() if transport == "struct" else None
+    return _ShardProgram(fabric, clients, finishers, codec=codec)
 
 
 # ---------------------------------------------------------------------------
@@ -398,29 +483,39 @@ def merge_partials(fabric_kwargs: dict, spec: WorkloadSpec,
 def run_cluster_sharded(
         fabric_kwargs: dict, spec: WorkloadSpec, n_shards: int,
         backend: str = "proc", sanitize: bool = False,
+        coalesce: bool = True, transport: str = "struct",
 ) -> tuple[ClusterReport, ParallelRunResult]:
     """Run one cluster workload split across ``n_shards`` simulators.
 
     ``fabric_kwargs`` are exactly the keyword arguments a plain
     :class:`Fabric` would take (they must be picklable for the proc
     backend).  Returns the merged report plus the engine's run stats
-    (windows, total events) for benchmarking.  ``sanitize`` enables
-    the runtime sanitizers inside every shard worker and re-checks
-    the conservation law at each window barrier.
+    (windows, boundary traffic, total events) for benchmarking.
+    ``sanitize`` enables the runtime sanitizers inside every shard
+    worker and re-checks the conservation law at each window barrier.
+    ``coalesce=False`` pins the engine to the classic fixed-width
+    windows; ``transport`` picks the boundary encoding (``"struct"``,
+    the compact fixed-record codec, or ``"pickle"``, the legacy
+    per-tuple baseline).  Neither knob changes the report -- both are
+    exercised by the byte-identity determinism tests.
     """
     if backend not in BACKENDS:
         raise SimulationError(
             f"unknown shard backend {backend!r}; choose from {BACKENDS}")
+    if transport not in ("struct", "pickle"):
+        raise SimulationError(
+            f"unknown boundary transport {transport!r}; "
+            "choose 'struct' or 'pickle'")
     window_us = fabric_kwargs.get("prop_delay_us", 2.0)
     factory = functools.partial(_build_shard, n_shards=n_shards,
                                 fabric_kwargs=fabric_kwargs, spec=spec,
-                                sanitize=sanitize)
+                                sanitize=sanitize, transport=transport)
     window_probe = None
     if sanitize:
         from ..analysis.sanitize import check_window_conservation
         window_probe = check_window_conservation
     run = run_shards(factory, n_shards, window_us, backend=backend,
-                     window_probe=window_probe)
+                     window_probe=window_probe, coalesce=coalesce)
     report = merge_partials(fabric_kwargs, spec, run.partials,
                             run.t_end)
     return report, run

@@ -109,16 +109,25 @@ def run_scenario(scenario: dict, shard_counts: tuple[int, ...] = (1, 2),
                                   max_events=50_000_000)
             reports[k] = collect(fabric, result)
         else:
-            reports[k], _run = run_cluster_sharded(
-                scenario["fabric_kwargs"], scenario["spec"], k,
-                backend=backend, sanitize=sanitize)
+            # Both window schedules must reproduce the plain run:
+            # adaptive coalescing (the default) and the classic
+            # fixed-width baseline.
+            for coalesce in (True, False):
+                label = k if coalesce else f"{k}/no-coalesce"
+                reports[label], _run = run_cluster_sharded(
+                    scenario["fabric_kwargs"], scenario["spec"], k,
+                    backend=backend, sanitize=sanitize,
+                    coalesce=coalesce)
 
     base = shard_counts[0]
     base_json = reports[base].to_json()
-    for k in shard_counts[1:]:
-        if reports[k].to_json() != base_json:
+    for label in sorted(reports, key=str):
+        if label == base:
+            continue
+        if reports[label].to_json() != base_json:
             failures.append(
-                f"--shards {k} report differs from --shards {base}")
+                f"--shards {label} report differs from "
+                f"--shards {base}")
 
     report = reports[base]
     cons = report.conservation

@@ -41,6 +41,7 @@ from typing import Callable, Optional
 # sort before any keyed (boundary) event and among themselves by
 # schedule order.
 NO_KEY: tuple = ()
+_INF = float("inf")
 
 # Compaction policy: rebuild the heap once it holds this many entries
 # and more than half of them are dead (cancelled or already popped
@@ -273,12 +274,19 @@ class Simulator:
         if self.sanitizer is not None:
             self.sanitizer.window_begin(horizon)
         try:
-            while True:
-                nxt = self.peek()
-                if nxt is None or nxt >= horizon:
-                    break
-                self.step()
-                executed += 1
+            if horizon == _INF:
+                # Unbounded window (a coalesced run's final drain):
+                # skip the per-event peek -- the horizon check cannot
+                # fire, and the peek's heap probe costs ~15% per event.
+                while self.step():
+                    executed += 1
+            else:
+                while True:
+                    nxt = self.peek()
+                    if nxt is None or nxt >= horizon:
+                        break
+                    self.step()
+                    executed += 1
         finally:
             if self.sanitizer is not None:
                 self.sanitizer.window_end()

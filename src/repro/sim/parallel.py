@@ -19,12 +19,29 @@ window's start.  For the cluster fabric the lookahead is the trunk
 propagation delay -- hosts only interact through links that are at
 least that long (see DESIGN.md, "Parallel simulation").
 
+**Adaptive window coalescing** sharpens the bound with one extra bit
+per shard: whether its *model state* can ever emit a cross-shard
+message again (``may_emit()``, a pure function of the cluster flow
+table).  A shard that provably cannot emit contributes an infinite
+emission bound, so its peers' horizons stretch past it -- in the
+limit where no shard can emit (a workload whose flows never cross the
+partition cut), every shard runs to quiescence in a single window
+instead of hundreds of fixed-width barriers.  With every shard
+capable (or ``coalesce=False``) the horizons reduce exactly to the
+fixed-window formula above, so coalescing never changes *which*
+events a window may run -- only how many windows it takes -- and
+results stay byte-identical either way.
+
 A shard program is anything with::
 
     sim            -- its Simulator
     deliver(batch) -- schedule [(when, key, msg), ...] from peers
     drain_outbox() -- return and clear [(dest, when, key, msg), ...]
     collect(t_end) -- picklable result after the clock reaches t_end
+    codec          -- optional batch encoder (see repro.cluster.
+                      boundary); enables the compact struct transport
+    may_emit()     -- optional capability bit for coalescing; absent
+                      means "always capable"
 
 Three backends execute the shards: ``proc`` (one OS process per
 shard, the fast path), ``thread`` (one thread per shard -- no
@@ -32,16 +49,31 @@ parallelism under the GIL, but real concurrency bugs still surface),
 and ``inline`` (a sequential loop over the shards in the calling
 thread, the debugging backend).  All three run the identical
 coordinator loop, so they produce identical results.
+
+With a codec, boundary batches travel as fixed-width records instead
+of pickled tuples: the proc backend maps one anonymous shared-memory
+region per direction per worker (inherited over fork), workers encode
+their outboxes straight into it, and only a tiny ``(offset, length)``
+span crosses the pipe; thread/inline hand the encoded buffer over by
+reference.  The coordinator copies a span's bytes exactly once --
+mailboxes outlive the window that produced them, the mappings do not.
 """
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass
 from typing import Callable, Optional
 
 from .core import SimulationError
 
 BACKENDS = ("proc", "thread", "inline")
+
+# Shared-memory staging area per direction per proc-backend worker.
+# Outboxes larger than this fall back to bytes over the pipe.
+_SHM_BYTES = 1 << 20
+
+_INF = float("inf")
 
 
 @dataclass
@@ -53,40 +85,106 @@ class ParallelRunResult:
     windows: int                # synchronization barriers executed
     events_processed: int       # summed over shards
     events_absorbed: int = 0    # per-cell events folded into trains
+    boundary_msgs: int = 0      # messages exchanged between shards
+    boundary_bytes: int = 0     # transport payload bytes for them
 
 
 # ---------------------------------------------------------------------------
 # Worker side
 # ---------------------------------------------------------------------------
 
+class _Worker:
+    """One shard's command executor.  Runs in the worker thread or
+    child process -- or directly in the coordinator for the inline
+    backend -- so every backend shares one implementation."""
+
+    def __init__(self, factory: Callable, index: int,
+                 shm_in=None, shm_out=None):
+        self.program = factory(index)
+        self.codec = getattr(self.program, "codec", None)
+        self._may_emit = getattr(self.program, "may_emit", None)
+        self._shm_in = memoryview(shm_in) if shm_in is not None else None
+        self._shm_out = shm_out
+
+    def _capable(self) -> bool:
+        if self._may_emit is None:
+            return True
+        return bool(self._may_emit())
+
+    def ready(self) -> tuple:
+        return ("ready", self.program.sim.peek(), self._capable())
+
+    def handle(self, cmd: tuple) -> Optional[tuple]:
+        program = self.program
+        op = cmd[0]
+        if op == "window":
+            _, horizon, inbox = cmd
+            if inbox:
+                self._deliver(inbox)
+            program.sim.run_window(horizon)
+            return ("report", program.sim.peek(), self._pack_outbox(),
+                    program.sim.last_event_time,
+                    program.sim.events_processed,
+                    program.sim.events_absorbed,
+                    self._capable())
+        if op == "probe":
+            return ("counters", program.probe())
+        if op == "collect":
+            program.sim.advance_to(cmd[1])
+            return ("partial", program.collect(cmd[1]))
+        if op == "stop":
+            return None
+        raise SimulationError(f"unknown shard command {op!r}")
+
+    def _deliver(self, inbox: list) -> None:
+        codec = self.codec
+        if codec is None:
+            self.program.deliver(inbox)
+            return
+        for span in inbox:
+            if isinstance(span, tuple):         # ("shm", off, length)
+                _, off, length = span
+                buf = self._shm_in[off:off + length]
+            else:                               # standalone bytes
+                buf = span
+            self.program.deliver(codec.decode_batch(buf))
+
+    def _pack_outbox(self):
+        outbox = self.program.drain_outbox()
+        codec = self.codec
+        if codec is None or not outbox:
+            return outbox
+        by_dest: dict[int, list] = {}
+        for dest, when, key, msg in outbox:
+            by_dest.setdefault(dest, []).append((when, key, msg))
+        payload = []
+        cursor = 0
+        for dest in sorted(by_dest):
+            batch = by_dest[dest]
+            span = None
+            if self._shm_out is not None:
+                end = codec.encode_into(batch, self._shm_out, cursor)
+                if end is not None:
+                    span = ("shm", cursor, end - cursor)
+                    cursor = end
+            if span is None:                    # no shm, or overflow
+                span = codec.encode_batch(batch)
+            payload.append(("enc", dest, len(batch),
+                            min(when for when, _k, _m in batch), span))
+        return payload
+
+
 def _serve(factory: Callable, index: int, recv: Callable,
-           send: Callable) -> None:
+           send: Callable, shm_in=None, shm_out=None) -> None:
     """Run one shard's command loop (in a thread or child process)."""
     try:
-        program = factory(index)
-        send(("ready", program.sim.peek()))
+        worker = _Worker(factory, index, shm_in, shm_out)
+        send(worker.ready())
         while True:
-            cmd = recv()
-            op = cmd[0]
-            if op == "window":
-                _, horizon, inbox = cmd
-                if inbox:
-                    program.deliver(inbox)
-                program.sim.run_window(horizon)
-                send(("report", program.sim.peek(),
-                      program.drain_outbox(),
-                      program.sim.last_event_time,
-                      program.sim.events_processed,
-                      program.sim.events_absorbed))
-            elif op == "probe":
-                send(("counters", program.probe()))
-            elif op == "collect":
-                program.sim.advance_to(cmd[1])
-                send(("partial", program.collect(cmd[1])))
-            elif op == "stop":
+            reply = worker.handle(recv())
+            if reply is None:
                 return
-            else:
-                raise SimulationError(f"unknown shard command {op!r}")
+            send(reply)
     except Exception:  # every failure is relayed to the coordinator
         import traceback
         try:
@@ -97,7 +195,9 @@ def _serve(factory: Callable, index: int, recv: Callable,
 
 class _Channel:
     """Coordinator's handle on one worker: send a command, await a
-    reply.  Subclasses bind the transport."""
+    reply.  Subclasses bind the transport; the span methods let the
+    proc backend stage encoded batches in shared memory while the
+    in-process backends pass buffers by reference."""
 
     def send(self, cmd: tuple) -> None:
         raise NotImplementedError
@@ -112,6 +212,21 @@ class _Channel:
     def _recv(self) -> tuple:
         raise NotImplementedError
 
+    def begin_window(self) -> None:
+        """Reset the coordinator->worker staging area (barrier safe:
+        the worker consumed the previous window's spans before it
+        reported)."""
+
+    def pack_span(self, data):
+        """Stage one encoded batch for this worker; returns what to
+        put on the wire (a span tuple or the bytes themselves)."""
+        return data
+
+    def fetch(self, span) -> bytes:
+        """Materialize a span from a worker's report as standalone
+        bytes (mailboxes outlive the staging buffers)."""
+        return span
+
     def close(self) -> None:
         pass
 
@@ -121,31 +236,11 @@ class _InlineChannel(_Channel):
     stored reply.  No parallelism -- this is the debugging backend."""
 
     def __init__(self, factory: Callable, index: int):
-        self._program = factory(index)
-        self._reply: Optional[tuple] = ("ready", self._program.sim.peek())
+        self._worker = _Worker(factory, index)
+        self._reply: Optional[tuple] = self._worker.ready()
 
     def send(self, cmd: tuple) -> None:
-        program = self._program
-        op = cmd[0]
-        if op == "window":
-            _, horizon, inbox = cmd
-            if inbox:
-                program.deliver(inbox)
-            program.sim.run_window(horizon)
-            self._reply = ("report", program.sim.peek(),
-                           program.drain_outbox(),
-                           program.sim.last_event_time,
-                           program.sim.events_processed,
-                           program.sim.events_absorbed)
-        elif op == "probe":
-            self._reply = ("counters", program.probe())
-        elif op == "collect":
-            program.sim.advance_to(cmd[1])
-            self._reply = ("partial", program.collect(cmd[1]))
-        elif op == "stop":
-            self._reply = None
-        else:
-            raise SimulationError(f"unknown shard command {op!r}")
+        self._reply = self._worker.handle(cmd)
 
     def _recv(self) -> tuple:
         return self._reply
@@ -175,12 +270,23 @@ class _ThreadChannel(_Channel):
 
 
 class _ProcChannel(_Channel):
-    def __init__(self, ctx, factory: Callable, index: int):
+    def __init__(self, ctx, factory: Callable, index: int,
+                 use_shm: bool):
+        self._shm_in = self._shm_out = None
+        self._in_cursor = 0
+        if use_shm:
+            # Anonymous mappings made before fork are inherited by the
+            # child: no names, no files, no resource tracker -- they
+            # vanish with the processes.
+            import mmap
+            self._shm_in = mmap.mmap(-1, _SHM_BYTES)
+            self._shm_out = mmap.mmap(-1, _SHM_BYTES)
         parent, child = ctx.Pipe()
         self._conn = parent
         self._proc = ctx.Process(
             target=_serve,
-            args=(factory, index, child.recv, child.send),
+            args=(factory, index, child.recv, child.send,
+                  self._shm_in, self._shm_out),
             name=f"shard-{index}", daemon=True)
         self._proc.start()
         child.close()
@@ -191,11 +297,33 @@ class _ProcChannel(_Channel):
     def _recv(self) -> tuple:
         return self._conn.recv()
 
+    def begin_window(self) -> None:
+        self._in_cursor = 0
+
+    def pack_span(self, data):
+        shm = self._shm_in
+        size = len(data)
+        if shm is None or self._in_cursor + size > _SHM_BYTES:
+            return data
+        off = self._in_cursor
+        shm[off:off + size] = data
+        self._in_cursor = off + size
+        return ("shm", off, size)
+
+    def fetch(self, span) -> bytes:
+        if isinstance(span, tuple):
+            _, off, size = span
+            return bytes(self._shm_out[off:off + size])
+        return span
+
     def close(self) -> None:
         self._conn.close()
         self._proc.join(timeout=10.0)
         if self._proc.is_alive():
             self._proc.terminate()
+        for shm in (self._shm_in, self._shm_out):
+            if shm is not None:
+                shm.close()
 
 
 def _open_channels(factory: Callable, n_shards: int,
@@ -208,9 +336,12 @@ def _open_channels(factory: Callable, n_shards: int,
         import multiprocessing
         try:
             ctx = multiprocessing.get_context("fork")
+            use_shm = True
         except ValueError:          # platform without fork
             ctx = multiprocessing.get_context()
-        return [_ProcChannel(ctx, factory, i) for i in range(n_shards)]
+            use_shm = False         # children could not inherit a map
+        return [_ProcChannel(ctx, factory, i, use_shm)
+                for i in range(n_shards)]
     raise SimulationError(
         f"unknown shard backend {backend!r}; choose from {BACKENDS}")
 
@@ -219,9 +350,22 @@ def _open_channels(factory: Callable, n_shards: int,
 # Coordinator
 # ---------------------------------------------------------------------------
 
+def _wire_inbox(channel: _Channel, entries: list) -> list:
+    """Turn a shard's mailbox into what goes over its channel."""
+    wire = []
+    for when, _count, data in entries:
+        if isinstance(data, tuple):             # legacy (key, msg)
+            key, msg = data
+            wire.append((when, key, msg))
+        else:                                   # encoded batch bytes
+            wire.append(channel.pack_span(data))
+    return wire
+
+
 def run_shards(factory: Callable, n_shards: int, window_us: float,
                backend: str = "proc",
                window_probe: Optional[Callable[[int, list], None]] = None,
+               coalesce: bool = True,
                ) -> ParallelRunResult:
     """Drive ``n_shards`` shard programs to global quiescence.
 
@@ -235,7 +379,13 @@ def run_shards(factory: Callable, n_shards: int, window_us: float,
     every barrier with each shard's ``program.probe()`` result -- a
     true global snapshot, since no shard is mid-event at a barrier.
     The sanitizers use it to re-assert the conservation law every
-    window instead of only at quiescence.
+    window instead of only at quiescence.  With coalescing the probe
+    fires once per *coalesced* window -- fewer, wider snapshots, same
+    invariant.
+
+    ``coalesce=False`` pins every shard's emission bound to the fixed
+    lookahead, reproducing the classic one-W-per-round schedule (the
+    A/B baseline for benchmarks and determinism tests).
     """
     if window_us <= 0.0:
         raise SimulationError(
@@ -246,73 +396,121 @@ def run_shards(factory: Callable, n_shards: int, window_us: float,
     channels = _open_channels(factory, n_shards, backend)
     try:
         peeks: list[Optional[float]] = []
+        capable: list[bool] = []
         for channel in channels:
             reply = channel.recv()
             peeks.append(reply[1])
+            capable.append(bool(reply[2]))
+        # Mailbox entries are (min_when, message count, data) where
+        # data is an encoded batch (bytes) or one legacy (key, msg).
         inboxes: list[list] = [[] for _ in range(n_shards)]
         lasts = [0.0] * n_shards
         events = [0] * n_shards
         absorbed = [0] * n_shards
         windows = 0
+        boundary_msgs = 0
+        boundary_bytes = 0
 
         while True:
-            # The frontier: every place a future cross-shard effect can
-            # originate -- a shard's next pending event, or an
-            # undelivered message.  A message can reach shard i either
-            # directly from a foreign frontier element (one hop, +W) or
-            # by a chain that starts at i's *own* frontier, crosses to
-            # a peer, and bounces back (two hops minimum, +2W) -- the
-            # credit-return loop is exactly that shape.  So
-            #
-            #     horizon_i = W + min(min_{j!=i} loc_min[j],
-            #                         loc_min[i] + W)
-            #
-            # Longer chains only add more +W hops, so the two terms
-            # dominate by induction.  A shard whose peers are all idle
-            # advances 2W per round instead of being stuck at the
-            # global-window W; idle shards skip the barrier entirely.
-            # Track the two smallest per-location minima to get
-            # min-over-others per shard in O(1).
-            loc_min = [float("inf")] * n_shards
+            # The frontier: every place a future cross-shard effect
+            # can originate -- a shard's next pending event, or an
+            # undelivered message.
+            loc_min = [_INF] * n_shards
             for i, peek in enumerate(peeks):
                 if peek is not None:
                     loc_min[i] = peek
             for i, box in enumerate(inboxes):
-                for when, _key, _msg in box:
+                for when, _count, _data in box:
                     if when < loc_min[i]:
                         loc_min[i] = when
-            lo = lo2 = float("inf")
+            if min(loc_min) == _INF:
+                break
+
+            # Emission bound: the earliest instant shard j could
+            # stamp a *cross-shard* message.  Anything j emits comes
+            # from an event at loc_min[j] or later and carries the
+            # lookahead, so eb[j] = loc_min[j] + W -- unless j's model
+            # state rules out cross-shard emission entirely, in which
+            # case the bound is infinite and j stops constraining its
+            # peers (the whole point of coalescing).
+            #
+            # A message can reach shard i either directly from a
+            # foreign emission (eb[j]) or by a chain that starts at
+            # i's own frontier, crosses to a peer, and bounces back
+            # (eb[i] + W minimum -- the credit-return loop is exactly
+            # that shape); longer chains only add more +W hops, so
+            # the two terms dominate by induction:
+            #
+            #     horizon_i = min(min_{j!=i} eb[j],  eb[i] + W)
+            #
+            # With every shard capable this is the classic fixed
+            # window (W past the fabric-wide frontier, 2W for a shard
+            # whose peers all idle) -- coalescing strictly widens it.
+            # Track the two smallest bounds to get min-over-others
+            # per shard in O(1).
+            eb = [_INF] * n_shards
+            for i in range(n_shards):
+                if loc_min[i] < _INF and (capable[i] or not coalesce):
+                    eb[i] = loc_min[i] + window_us
+            lo = lo2 = _INF
             lo_at = -1
-            for i, value in enumerate(loc_min):
+            for i, value in enumerate(eb):
                 if value < lo:
                     lo2, lo, lo_at = lo, value, i
                 elif value < lo2:
                     lo2 = value
-            if lo == float("inf"):
-                break
 
             active = []
             for i, channel in enumerate(channels):
                 foreign = lo2 if lo_at == i else lo
-                own = loc_min[i] + window_us
-                horizon = (own if own < foreign else foreign) + window_us
+                echo = eb[i] + window_us
+                horizon = echo if echo < foreign else foreign
                 runnable = peeks[i] is not None and peeks[i] < horizon
                 deliverable = any(when < horizon
-                                  for when, _k, _m in inboxes[i])
+                                  for when, _c, _d in inboxes[i])
                 if not (runnable or deliverable):
                     continue        # idle this window; keep its mailbox
+                if not runnable and coalesce and not capable[i] \
+                        and horizon < _INF:
+                    # Deliver-only work on a shard that provably
+                    # cannot emit: deferring it is invisible to every
+                    # peer, so batch it into the shard's next real
+                    # window instead of paying a round-trip now.
+                    continue
                 active.append(i)
-                channel.send(("window", horizon, inboxes[i]))
+                channel.begin_window()
+                channel.send(("window", horizon,
+                              _wire_inbox(channel, inboxes[i])))
                 inboxes[i] = []
+            if not active:
+                # Unreachable: the shard holding the smallest finite
+                # emission bound is always runnable or deliverable and
+                # never deferred; if no bound is finite, horizons are
+                # infinite and deferral is off.  Guard anyway -- a
+                # silent `continue` here would spin forever.
+                raise SimulationError(
+                    "window engine stalled with work pending")
             for i in active:
-                (_, peek, outbox, last, n_events,
-                 n_absorbed) = channels[i].recv()
+                (_tag, peek, payload, last, n_events, n_absorbed,
+                 is_capable) = channels[i].recv()
                 peeks[i] = peek
                 lasts[i] = last
                 events[i] = n_events
                 absorbed[i] = n_absorbed
-                for dest, when, key, msg in outbox:
-                    inboxes[dest].append((when, key, msg))
+                capable[i] = bool(is_capable)
+                if not payload:
+                    continue
+                if payload[0][0] == "enc":
+                    for _e, dest, count, min_when, span in payload:
+                        data = channels[i].fetch(span)
+                        inboxes[dest].append((min_when, count, data))
+                        boundary_msgs += count
+                        boundary_bytes += len(data)
+                else:                           # legacy tuple transport
+                    for dest, when, key, msg in payload:
+                        inboxes[dest].append((when, 1, (key, msg)))
+                    boundary_msgs += len(payload)
+                    boundary_bytes += len(pickle.dumps(payload))
             windows += 1
             if window_probe is not None:
                 for channel in channels:
@@ -329,7 +527,9 @@ def run_shards(factory: Callable, n_shards: int, window_us: float,
         return ParallelRunResult(t_end=t_end, partials=partials,
                                  windows=windows,
                                  events_processed=sum(events),
-                                 events_absorbed=sum(absorbed))
+                                 events_absorbed=sum(absorbed),
+                                 boundary_msgs=boundary_msgs,
+                                 boundary_bytes=boundary_bytes)
     finally:
         for channel in channels:
             channel.close()

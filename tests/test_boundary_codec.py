@@ -1,0 +1,331 @@
+"""Boundary-codec round-trip tests: every message kind, every key
+tag, the numeric edges of every fixed-width field, and a fuzz sweep
+asserting ``decode(encode(x)) == x`` field-for-field.
+
+``Cell.__eq__`` ignores the ``compare=False`` bookkeeping fields
+(link_id, tx_index, efci, corrupted), so these tests compare cells
+attribute-by-attribute -- a codec that dropped the EFCI bit must not
+pass on dataclass equality.
+"""
+
+import math
+import pickle
+import random
+
+import pytest
+
+from repro.atm.cell import Cell
+from repro.cluster.boundary import CODEC_VERSION, BoundaryCodec
+from repro.sim import SimulationError
+
+_CELL_FIELDS = ("vci", "payload", "eom", "seq", "atm_last",
+                "link_id", "tx_index", "efci", "corrupted")
+
+
+def _same_msg(a, b):
+    if isinstance(a, tuple) and isinstance(b, tuple):
+        return len(a) == len(b) and all(
+            _same_msg(x, y) for x, y in zip(a, b))
+    if isinstance(a, Cell) or isinstance(b, Cell):
+        return (type(a) is type(b)
+                and all(_same_msg(getattr(a, f), getattr(b, f))
+                        for f in _CELL_FIELDS))
+    if isinstance(a, float) and isinstance(b, float) \
+            and math.isnan(a) and math.isnan(b):
+        return True
+    return type(a) is type(b) and a == b
+
+
+def _roundtrip(batch, codec=None):
+    codec = codec or BoundaryCodec()
+    out = codec.decode_batch(codec.encode_batch(batch))
+    assert len(out) == len(batch)
+    for got, want in zip(out, batch):
+        assert _same_msg(got, want), f"{got!r} != {want!r}"
+    return out
+
+
+def _cell(**kw):
+    base = dict(vci=17, payload=b"\xa5" * 44, eom=False, seq=None,
+                atm_last=False, link_id=2, tx_index=9, efci=False,
+                corrupted=False)
+    base.update(kw)
+    cell = Cell.__new__(Cell)
+    for name, value in base.items():
+        setattr(cell, name, value)
+    return cell
+
+
+# ---------------------------------------------------------------- kinds
+
+
+def test_roundtrip_every_message_kind():
+    batch = [
+        (1.5, ("up", 3, 7, 12), ("in", 0, 2, _cell())),
+        (2.0, ("isw", 1, 0, 4, 8), ("in", 1, -1, _cell(vci=40))),
+        (2.5, ("credit", 2, 11), ("refill", 2, 33)),
+        (3.0, ("efci", 1, 5), ("pause", 1, 40)),
+    ]
+    _roundtrip(batch)
+    # All four must take fixed records, not the pickle escape: the
+    # whole batch (one pooled run-length payload) stays tiny.
+    assert len(BoundaryCodec().encode_batch(batch)) < 160
+
+
+def test_roundtrip_every_key_tag():
+    cell = _cell()
+    for key in (("up", 0, 1, 2), ("isw", 0, 1, 2, 3),
+                ("credit", 0, 1), ("efci", 0, 1)):
+        _roundtrip([(0.0, key, ("in", 0, 0, cell))])
+
+
+def test_empty_batch():
+    assert BoundaryCodec().decode_batch(
+        BoundaryCodec().encode_batch([])) == []
+
+
+# ----------------------------------------------------- float edge cases
+
+
+@pytest.mark.parametrize("when", [
+    0.0, -0.0, 5e-324, 1.7976931348623157e308, 1e-300,
+    123456789.000000001, float("inf"), -float("inf"),
+    2.0 ** 53, 2.0 ** 53 + 2.0,
+])
+def test_when_float_edges(when):
+    out = _roundtrip([(when, ("up", 1, 2, 3), ("refill", 0, 1))])
+    got = out[0][0]
+    assert got == when
+    assert math.copysign(1.0, got) == math.copysign(1.0, when)
+
+
+def test_when_nan_roundtrips():
+    out = _roundtrip([(float("nan"), ("up", 1, 2, 3),
+                       ("refill", 0, 1))])
+    assert math.isnan(out[0][0])
+
+
+def test_non_float_when_takes_escape():
+    # An int timestamp must come back an int, not a coerced float.
+    out = _roundtrip([(7, ("up", 1, 2, 3), ("refill", 0, 1))])
+    assert type(out[0][0]) is int
+
+
+def test_non_numeric_when_takes_escape():
+    # The escape prefix stores an advisory float; a string timestamp
+    # must not crash the encoder and must round-trip exactly.
+    out = _roundtrip([("soon", ("up", 1, 2, 3), ("refill", 0, 1))])
+    assert out[0][0] == "soon"
+
+
+# ------------------------------------------------- field-width extremes
+
+
+def test_max_width_fields_fixed_record():
+    cell = _cell(vci=0xFFFF, seq=(1 << 64) - 1, link_id=-128,
+                 tx_index=-(1 << 31), eom=True, atm_last=True,
+                 efci=True, corrupted=True)
+    batch = [
+        (1.0, ("up", 0xFFFF, 0xFFFF, (1 << 32) - 1),
+         ("in", 0xFFFF, (1 << 15) - 1, cell)),
+        (2.0, ("isw", 0xFFFF, 0xFFFF, 0xFFFF, (1 << 32) - 1),
+         ("in", 0, -(1 << 15), _cell(link_id=127,
+                                     tx_index=(1 << 31) - 1))),
+        (3.0, ("credit", 0xFFFF, (1 << 32) - 1),
+         ("refill", 0xFFFF, 0xFFFF)),
+    ]
+    _roundtrip(batch)
+    # Extreme-but-in-range values still fit fixed records.
+    assert len(BoundaryCodec().encode_batch(batch)) < 180
+
+
+@pytest.mark.parametrize("batch", [
+    # Each of these exceeds one fixed-width field and must take the
+    # escape record -- and still round-trip exactly.
+    [(1.0, ("up", 1 << 16, 0, 0), ("refill", 0, 0))],
+    [(1.0, ("up", -1, 0, 0), ("refill", 0, 0))],
+    [(1.0, ("up", 0, 0, 1 << 32), ("refill", 0, 0))],
+    [(1.0, ("up", 0, 0, -1), ("refill", 0, 0))],
+    [(1.0, ("up", 0, 0, 0), ("refill", 1 << 16, 0))],
+    [(1.0, ("up", 0, 0, 0), ("refill", 0, 1 << 16))],
+    [(1.0, ("up", 0, 0, 0), ("in", 1 << 16, 0, None))],
+    [(1.0, ("up", 0, 0, 0), ("in", 0, 1 << 15, None))],
+    [(1.0, ("up", 0, 0, 0), ("in", 0, -(1 << 15) - 1, None))],
+])
+def test_out_of_range_fields_escape(batch):
+    if batch[0][2][0] == "in" and batch[0][2][3] is None:
+        batch = [(batch[0][0], batch[0][1],
+                  batch[0][2][:3] + (_cell(),))]
+    _roundtrip(batch)
+
+
+def test_out_of_range_cell_bookkeeping_escapes():
+    for cell in (_cell(seq=1 << 64), _cell(seq=-1),
+                 _cell(link_id=128), _cell(link_id=-129),
+                 _cell(tx_index=1 << 31)):
+        _roundtrip([(1.0, ("up", 0, 0, 0), ("in", 0, 0, cell))])
+
+
+# ------------------------------------------------------ escape coverage
+
+
+def test_exotic_keys_and_messages_escape():
+    _roundtrip([
+        (1.0, ("up", 0, 0, 0), ("open", 0, 1, 2, 3)),
+        (1.0, ("weird", 5), ("refill", 0, 0)),
+        (1.0, "not-a-tuple", ("refill", 0, 0)),
+        (1.0, ("up", "zero", 0, 0), ("refill", 0, 0)),
+        (1.0, ("up", 0, 0), ("refill", 0, 0)),        # wrong arity
+        (1.0, ("up", 0, 0, 0, 0), ("refill", 0, 0)),  # wrong arity
+        (1.0, ("up", 0, 0, 0), ["refill", 0, 0]),     # list message
+        (1.0, ("up", 0, 0, 0), ("in", 0, 0, "not-a-cell")),
+    ])
+
+
+class _MarkedCell(Cell):
+    """Module-level so the escape record's pickle can reach it."""
+
+
+def test_cell_subclass_escapes():
+    cell = _MarkedCell(vci=1, payload=b"x")
+    out = _roundtrip([(1.0, ("up", 0, 0, 0), ("in", 0, 0, cell))])
+    assert type(out[0][2][3]) is _MarkedCell
+
+
+# ------------------------------------------------------------- payloads
+
+
+@pytest.mark.parametrize("payload", [
+    b"", b"\x00", b"\xff" * 44, b"\xa5" * 44, b"\xa5" * 43 + b"\xa6",
+    bytes(range(44)), b"\x80" * 7,
+])
+def test_payload_shapes(payload):
+    out = _roundtrip([(1.0, ("up", 0, 0, 0),
+                       ("in", 0, 0, _cell(payload=payload)))])
+    got = out[0][2][3].payload
+    assert got == payload and type(got) is bytes
+
+
+def test_payload_pool_dedup():
+    codec = BoundaryCodec()
+    fill = b"\xa5" * 44
+    batch = [(float(i), ("up", 0, 0, i),
+              ("in", 0, 0, _cell(payload=fill)))
+             for i in range(64)]
+    solo = len(codec.encode_batch(batch[:1]))
+    full = len(codec.encode_batch(batch))
+    # 64 identical payloads share one pool entry: the marginal cost of
+    # a record must be far below the 44-byte payload it references.
+    assert full - solo < 40 * 63
+    _roundtrip(batch, codec)
+
+
+def test_oversize_payload_escapes():
+    cell = _cell(payload=b"y" * 45)
+    _roundtrip([(1.0, ("up", 0, 0, 0), ("in", 0, 0, cell))])
+
+
+# --------------------------------------------------- encode_into / shm
+
+
+def test_encode_into_overflow_returns_none():
+    codec = BoundaryCodec()
+    batch = [(1.0, ("up", 0, 0, 0), ("in", 0, 0, _cell()))]
+    blob = codec.encode_batch(batch)
+    for cap in range(len(blob)):
+        assert codec.encode_into(batch, bytearray(cap), 0) is None
+    buf = bytearray(len(blob) + 8)
+    end = codec.encode_into(batch, buf, 0)
+    assert end == len(blob) and bytes(buf[:end]) == blob
+
+
+def test_encode_into_at_offset():
+    codec = BoundaryCodec()
+    batch = [(2.5, ("credit", 9, 4), ("refill", 9, 33))]
+    buf = bytearray(512)
+    end = codec.encode_into(batch, buf, 100)
+    decoded = codec.decode_batch(memoryview(buf)[100:end])
+    assert _same_msg(decoded[0], batch[0])
+
+
+# ------------------------------------------------------------ versioning
+
+
+def test_version_mismatch_raises():
+    codec = BoundaryCodec()
+    blob = bytearray(codec.encode_batch([(1.0, ("up", 0, 0, 0),
+                                          ("refill", 0, 0))]))
+    assert blob[0] == CODEC_VERSION
+    blob[0] = CODEC_VERSION + 1
+    with pytest.raises(SimulationError, match="version mismatch"):
+        codec.decode_batch(bytes(blob))
+
+
+def test_unknown_record_kind_raises():
+    codec = BoundaryCodec()
+    blob = bytearray(codec.encode_batch([(1.0, ("up", 0, 0, 0),
+                                          ("refill", 0, 0))]))
+    # Record prefix sits right after the 11-byte header; corrupt the
+    # kind byte to an unassigned value.
+    blob[11] = 77
+    with pytest.raises(SimulationError, match="unknown record kind"):
+        codec.decode_batch(bytes(blob))
+
+
+# ------------------------------------------------------------ fuzz sweep
+
+
+def _random_item(rng):
+    roll = rng.random()
+    if roll < 0.15:       # exotic -- forced escape
+        return (rng.choice([1.0, 2, "t"]),
+                rng.choice([("x", 1, 2), "key", ("up", -1, 0)]),
+                rng.choice([("bye",), ["in"], None,
+                            ("in", 0, 0, "not-a-cell")]))
+    when = rng.choice([
+        rng.uniform(0, 1e7), rng.uniform(-1e-9, 1e-9),
+        float(rng.getrandbits(40)), 0.0,
+    ])
+    tag = rng.choice(["up", "isw", "credit", "efci"])
+    arity = {"up": 2, "isw": 3, "credit": 1, "efci": 1}[tag]
+    key = (tag, *(rng.randrange(0, 1 << 16) for _ in range(arity)),
+           rng.randrange(0, 1 << 32))
+    kind = rng.random()
+    if kind < 0.6:
+        payload = rng.choice([
+            bytes([rng.getrandbits(8)]) * rng.randrange(0, 45),
+            rng.randbytes(rng.randrange(0, 45)),
+        ])
+        cell = _cell(
+            vci=rng.randrange(0, 1 << 16), payload=payload,
+            eom=rng.random() < 0.5, atm_last=rng.random() < 0.3,
+            seq=(rng.randrange(0, 1 << 64)
+                 if rng.random() < 0.5 else None),
+            link_id=rng.randrange(-128, 128),
+            tx_index=rng.randrange(-(1 << 31), 1 << 31),
+            efci=rng.random() < 0.3, corrupted=rng.random() < 0.1)
+        return (when, key, ("in", rng.randrange(0, 1 << 16),
+                            rng.randrange(-(1 << 15), 1 << 15), cell))
+    mkind = "refill" if kind < 0.8 else "pause"
+    return (when, key, (mkind, rng.randrange(0, 1 << 16),
+                        rng.randrange(0, 1 << 16)))
+
+
+def test_fuzz_roundtrip():
+    rng = random.Random(0)
+    codec = BoundaryCodec()
+    for _ in range(200):
+        batch = [_random_item(rng) for _ in range(rng.randrange(0, 40))]
+        _roundtrip(batch, codec)
+
+
+def test_fuzz_matches_pickle_oracle():
+    # The escape record *is* pickle, and for fixed records the decoded
+    # tuples must equal what a pickle round-trip would have produced.
+    rng = random.Random(7)
+    codec = BoundaryCodec()
+    batch = [_random_item(rng) for _ in range(100)]
+    oracle = pickle.loads(pickle.dumps(batch))
+    decoded = codec.decode_batch(codec.encode_batch(batch))
+    for got, want in zip(decoded, oracle):
+        assert _same_msg(got, want)

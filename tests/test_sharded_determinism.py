@@ -64,6 +64,57 @@ def test_inline_backend_identical_without_backpressure():
     assert report.to_json() == _baseline_json("none", "incast")
 
 
+# -- coalescing / transport axis ----------------------------------------------
+#
+# The window schedule and the wire encoding must both be invisible:
+# any (coalesce, transport) combination yields the same bytes as the
+# plain run.  all2all crosses every min-cut, so the struct transport
+# actually carries cells here; pairs colocates every flow, so the
+# coalesced run collapses to a single window.
+
+@pytest.mark.parametrize("transport", ("struct", "pickle"))
+@pytest.mark.parametrize("coalesce", (True, False))
+def test_coalesce_transport_matrix_byte_identical(coalesce, transport):
+    report, _run = run_cluster_sharded(
+        _kwargs("credit"), _spec("all2all"), 2, backend="thread",
+        coalesce=coalesce, transport=transport)
+    assert report.to_json() == _baseline_json("credit", "all2all")
+
+
+def test_colocated_flows_coalesce_to_one_window():
+    runs = {}
+    for coalesce in (True, False):
+        report, run = run_cluster_sharded(
+            _kwargs("credit"), _spec("pairs"), 2, backend="inline",
+            coalesce=coalesce)
+        assert report.to_json() == _baseline_json("credit", "pairs")
+        runs[coalesce] = run
+    # Min-cut sharding keeps every pairs flow on one shard: no shard
+    # can ever emit a boundary message, so the whole run is a single
+    # unbounded window instead of one barrier per lookahead.
+    assert runs[True].windows == 1
+    assert runs[True].boundary_msgs == 0
+    assert runs[True].boundary_bytes == 0
+    assert runs[False].windows > 10 * runs[True].windows
+
+
+def test_crossing_flows_report_boundary_traffic():
+    _report, struct_run = run_cluster_sharded(
+        _kwargs("credit"), _spec("all2all"), 2, backend="inline",
+        transport="struct")
+    _report, pickle_run = run_cluster_sharded(
+        _kwargs("credit"), _spec("all2all"), 2, backend="inline",
+        transport="pickle")
+    assert struct_run.boundary_msgs == pickle_run.boundary_msgs > 0
+    assert 0 < struct_run.boundary_bytes < pickle_run.boundary_bytes
+
+
+def test_transport_rejects_unknown_name():
+    with pytest.raises(SimulationError, match="transport"):
+        run_cluster_sharded(_kwargs("none"), _spec("pairs"), 2,
+                            transport="json")
+
+
 def test_rpc_workload_identical_across_two_switches():
     report, _run = run_cluster_sharded(
         _kwargs("credit", n_switches=2), _spec("pairs", kind="rpc"), 3,
