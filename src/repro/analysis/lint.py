@@ -76,7 +76,7 @@ RULES = {
 # Packages (top-level directories under repro/) where event scheduling
 # and report serialization live; DET103/DET105 apply only here.
 ORDER_SENSITIVE_PACKAGES = frozenset({"sim", "cluster", "faults",
-                                      "topology"})
+                                      "topology", "recovery"})
 
 # Wall-clock reads are the whole point of benchmarking code.
 WALL_CLOCK_EXEMPT_PACKAGES = frozenset({"bench"})

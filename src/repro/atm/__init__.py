@@ -7,7 +7,10 @@ from .aal5 import (
 from .cell import Cell
 from .crc import crc32, internet_checksum, verify_internet_checksum
 from .link import CellPipe, OC3_MBPS
-from .sar import ConcurrentReassembler, SequenceNumberReassembler, SkewOverflow
+from .sar import (
+    ConcurrentReassembler, LossDetected, SequenceNumberReassembler,
+    SkewOverflow,
+)
 from .striping import SkewModel, StripedLink
 from .switch import BACKPRESSURE_MODES, DRAIN_POLICIES, CellSwitch
 
@@ -18,6 +21,7 @@ __all__ = [
     "encode_pdu", "decode_pdu", "segment", "framed_size", "cell_count",
     "TRAILER_BYTES",
     "SequenceNumberReassembler", "ConcurrentReassembler", "SkewOverflow",
+    "LossDetected",
     "CellPipe", "OC3_MBPS", "SkewModel", "StripedLink", "CellSwitch",
     "BACKPRESSURE_MODES", "DRAIN_POLICIES",
 ]

@@ -36,6 +36,21 @@ class SkewOverflow(Aal5Error):
     """
 
 
+class LossDetected(Aal5Error):
+    """A sequence gap persisted past the loss-declaration bound.
+
+    A destroyed cell leaves a gap no amount of waiting can fill, but
+    :class:`SkewOverflow` only fires once the stream runs a whole
+    window past it -- on a short-lived flow that may be never, and the
+    receiver wedges with every later PDU buffered behind the hole.
+    When ``loss_resync_cells`` is set, the reassembler instead counts
+    arrivals while the oldest end-of-message marker stays blocked;
+    crossing the bound declares the missing cells destroyed so the
+    caller can :meth:`SequenceNumberReassembler.gap_resync` past the
+    damaged PDU and keep delivering.
+    """
+
+
 class SequenceNumberReassembler:
     """Strategy 1: place each cell by its AAL sequence number.
 
@@ -45,13 +60,20 @@ class SequenceNumberReassembler:
     cell a sequence number may run.
     """
 
-    def __init__(self, vci: int, window: int = 1024):
+    def __init__(self, vci: int, window: int = 1024,
+                 loss_resync_cells: "int | None" = None):
         self.vci = vci
         self.window = window
+        # How many cells may arrive while the oldest EOM sits blocked
+        # behind a gap before the gap is declared a loss (None: wait
+        # for the window to overflow, however long that takes).
+        self.loss_resync_cells = loss_resync_cells
         self._cells: dict[int, bytes] = {}
         self._eoms: set[int] = set()
         self._start = 0  # seq of the first cell of the oldest open PDU
+        self._blocked_arrivals = 0
         self.pdus_completed = 0
+        self.loss_resyncs = 0
         self.max_skew_seen = 0
 
     @property
@@ -76,6 +98,25 @@ class SequenceNumberReassembler:
         self._cells.clear()
         self._eoms.clear()
         self._start = max(self._start, start)
+        self._blocked_arrivals = 0
+        return self._start
+
+    def gap_resync(self) -> int:
+        """Abandon the oldest, gap-damaged PDU and resume just past
+        its end-of-message marker.
+
+        Unlike :meth:`resync`, which drops everything buffered, this
+        confines the damage to the one PDU the gap sits in: cells of
+        later PDUs already buffered stay put and drain normally once
+        their own EOMs complete.
+        """
+        end = min(self._eoms)
+        for seq in [s for s in self._cells if s <= end]:
+            del self._cells[seq]
+        self._eoms.discard(end)
+        self._start = end + 1
+        self._blocked_arrivals = 0
+        self.loss_resyncs += 1
         return self._start
 
     def push(self, cell: Cell) -> list[bytes]:
@@ -91,7 +132,17 @@ class SequenceNumberReassembler:
         self._cells[cell.seq] = cell.payload
         if cell.eom:
             self._eoms.add(cell.seq)
-        return self._drain()
+        done = self._drain()
+        if done or not self._eoms:
+            self._blocked_arrivals = 0
+        else:
+            self._blocked_arrivals += 1
+            if (self.loss_resync_cells is not None
+                    and self._blocked_arrivals >= self.loss_resync_cells):
+                raise LossDetected(
+                    f"gap at seq {self._start} still open after "
+                    f"{self._blocked_arrivals} later arrivals")
+        return done
 
     def _drain(self) -> list[bytes]:
         done = []
@@ -211,4 +262,5 @@ class ConcurrentReassembler:
 
 __all__ = [
     "SequenceNumberReassembler", "ConcurrentReassembler", "SkewOverflow",
+    "LossDetected",
 ]

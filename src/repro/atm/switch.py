@@ -322,6 +322,15 @@ class CellSwitch:
         departure times the drain loop would have."""
         return self._forward_hooks.get((trunk_id, vci))
 
+    def port_dead(self, trunk_id: int, lane: int) -> bool:
+        """Liveness probe for one output port -- the recovery control
+        plane's heartbeat target.  False for unknown ports (a shard
+        probes only trunks it owns)."""
+        ports = self._trunks.get(trunk_id)
+        if ports is None or not 0 <= lane < len(ports):
+            return False
+        return ports[lane].fault_dead
+
     def kill_port(self, trunk_id: int, lane: int) -> None:
         """Fail one output port: subsequent arrivals are lost to the
         fault; cells already queued drain normally."""

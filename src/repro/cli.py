@@ -120,23 +120,31 @@ def _cmd_cluster(args) -> None:
         from .faults import FaultPlan
         # Port kills may name switches by topology coordinate
         # (port=leaf0:... / port=t0.1.1:...); resolve against the same
-        # spec the fabric will build.
-        switch_names = None
+        # spec the fabric will build, which also validates every
+        # switch/host/lane token at parse time.
+        topo = None
         if args.topology != "direct":
             from .topology import build_spec
             try:
-                switch_names = build_spec(
+                topo = build_spec(
                     args.topology, args.hosts,
                     n_switches=args.switches, pods=args.pods,
                     dims=torus_dims,
-                    oversubscription=args.oversub).name_table()
+                    oversubscription=args.oversub)
             except SimulationError as exc:
                 raise SystemExit(f"cluster: {exc}") from None
         try:
             fabric_kwargs["faults"] = FaultPlan.parse(
-                args.faults, seed=args.seed, switch_names=switch_names)
+                args.faults, seed=args.seed, topology=topo,
+                n_hosts=args.hosts)
         except ValueError as exc:
             raise SystemExit(f"cluster: {exc}") from None
+    if args.recovery != "off":
+        from .recovery import RecoveryConfig
+        fabric_kwargs["recovery"] = RecoveryConfig(
+            mode=args.recovery,
+            hb_interval_us=args.hb_interval,
+            detect_timeout_us=args.detect_timeout)
     if args.regen_timeout is not None:
         fabric_kwargs["credit_regen_timeout_us"] = args.regen_timeout
     if args.watchdog is not None:
@@ -349,6 +357,20 @@ def build_parser() -> argparse.ArgumentParser:
                               "0.001,flap=2:1@500+200,kill=0:3@1000,"
                               "port=0:0:1@800,credit-loss=0.05' "
                               "(seeded by --seed)")
+    cluster.add_argument("--recovery", default="off",
+                         choices=("off", "detect", "reroute"),
+                         help="self-healing control plane: heartbeat "
+                              "failure detection only, or detection "
+                              "plus deterministic ECMP path failover "
+                              "for flows crossing a killed switch "
+                              "port")
+    cluster.add_argument("--hb-interval", type=float, default=50.0,
+                         metavar="US",
+                         help="recovery heartbeat probe period")
+    cluster.add_argument("--detect-timeout", type=float, default=100.0,
+                         metavar="US",
+                         help="how long an element must stay down "
+                              "before it is declared dead")
     cluster.add_argument("--regen-timeout", type=float, default=None,
                          metavar="US",
                          help="credit regeneration: refill a flow's "

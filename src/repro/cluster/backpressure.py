@@ -145,12 +145,28 @@ class CreditGate:
             flow.stall_time_us += elapsed
             self.stall_time_us += elapsed
 
+    def retire_vci(self, vci: int) -> None:
+        """Forget a gated VCI -- path failover retired its wire
+        identifier.  Any emitter blocked on the old credits is
+        released (it re-checks and finds the flow uncounted), its
+        recovery timers die, and credits still riding the fabric
+        against the old window refill into nothing."""
+        flow = self._flows.pop(vci, None)
+        if flow is None:
+            return
+        self._cancel_recovery(flow)
+        flow.credits = None
+        flow.window = None
+        flow.signal.fire()
+
     def refill(self, vci: int) -> None:
         """Return one credit to ``vci`` -- the switch end of the
         credit channel, called when the final-hop port forwards a
-        cell of this flow."""
-        flow = self._flows[vci]
-        if flow.credits is None:
+        cell of this flow.  Credits addressed to a retired VCI (cells
+        that were in flight when a failover cut the flow over) fall
+        on the floor."""
+        flow = self._flows.get(vci)
+        if flow is None or flow.credits is None:
             return
         if flow.window is None or flow.credits < flow.window:
             flow.credits += 1

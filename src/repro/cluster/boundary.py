@@ -45,7 +45,7 @@ import struct
 from ..atm.cell import Cell
 from ..sim import SimulationError
 
-CODEC_VERSION = 1
+CODEC_VERSION = 2
 
 _HEADER = struct.Struct("<BIIH")     # version, records, pool off, pool n
 _PREFIX = struct.Struct("<Bd")       # record kind, when
@@ -59,15 +59,21 @@ _KEY_BY_ARITY = (None,
 _CELL_MSG = struct.Struct("<HhHBbiH")
 _SEQ = struct.Struct("<Q")           # appended when _F_HAS_SEQ is set
 _CTRL_MSG = struct.Struct("<HH")     # refill/pause: src host, vci
+# "dead" declaration broadcast: element kind u8, three element ids
+# u16 (switch/trunk/lane or host/lane/0), failure + detection stamps.
+_DEAD_MSG = struct.Struct("<BHHHdd")
 _ESCAPE_HDR = struct.Struct("<I")    # pickled byte length
 
 _KIND_IN = 0
 _KIND_REFILL = 1
 _KIND_PAUSE = 2
+_KIND_DEAD = 3
 _KIND_ESCAPE = 255
 
-_KEY_TAGS = {"up": 0, "isw": 1, "credit": 2, "efci": 3}
-_KEY_ARITY = {"up": 2, "isw": 3, "credit": 1, "efci": 1}
+_KEY_TAGS = {"up": 0, "isw": 1, "credit": 2, "efci": 3,
+             "rcvp": 4, "rcvl": 5}
+_KEY_ARITY = {"up": 2, "isw": 3, "credit": 1, "efci": 1,
+              "rcvp": 3, "rcvl": 2}
 _TAG_NAMES = {code: name for name, code in sorted(_KEY_TAGS.items())}
 _TAG_ARITY = {code: _KEY_ARITY[name]
               for name, code in sorted(_KEY_TAGS.items())}
@@ -258,6 +264,24 @@ class BoundaryCodec:
                     if flags & _F_HAS_SEQ:
                         _SEQ.pack_into(buf, body + _CELL_MSG.size, seq)
                     return off + need
+            elif mkind == "dead" and len(msg) == 7:
+                _, ekind, a, b, c, t_fail, t_detect = msg
+                if all(type(v) is int and 0 <= v < _U16
+                       for v in (a, b, c)) \
+                        and type(ekind) is int and 0 <= ekind < 256 \
+                        and type(t_fail) is float \
+                        and type(t_detect) is float:
+                    need = (_PREFIX.size + key_struct.size
+                            + _DEAD_MSG.size)
+                    if off + need > cap:
+                        return None
+                    _PREFIX.pack_into(buf, off, _KIND_DEAD, when)
+                    key_struct.pack_into(buf, off + _PREFIX.size,
+                                         tag, *ids, counter)
+                    _DEAD_MSG.pack_into(
+                        buf, off + _PREFIX.size + key_struct.size,
+                        ekind, a, b, c, t_fail, t_detect)
+                    return off + need
             elif mkind in ("refill", "pause") and len(msg) == 3:
                 _, src, vci = msg
                 if type(src) is int and 0 <= src < _U16 \
@@ -351,6 +375,11 @@ class BoundaryCodec:
                 off += _CTRL_MSG.size
                 msg = ("refill" if kind == _KIND_REFILL else "pause",
                        src, vci)
+            elif kind == _KIND_DEAD:
+                (ekind, a, b, c, t_fail,
+                 t_detect) = _DEAD_MSG.unpack_from(data, off)
+                off += _DEAD_MSG.size
+                msg = ("dead", ekind, a, b, c, t_fail, t_detect)
             else:
                 raise SimulationError(
                     f"boundary codec: unknown record kind {kind}")

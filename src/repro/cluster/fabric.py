@@ -77,6 +77,8 @@ from ..atm.striping import SkewModel, StripedLink
 from ..atm.switch import BACKPRESSURE_MODES, DRAIN_POLICIES, CellSwitch
 from ..faults import FaultPlan, FaultSite
 from ..hw.specs import STRIPE_LINKS, MachineSpec
+from ..recovery import (RecoveryConfig, RecoveryManager, combine_partials,
+                        summarize_recovery)
 from ..sim import CellTrain, Fidelity, SimulationError, Simulator
 from ..topology import TOPOLOGIES, TopologySpec, build_ecmp_tables, build_spec
 from .backpressure import CreditGate
@@ -199,6 +201,7 @@ class Fabric:
                  drain_policy: str = "rr",
                  trains: bool = True,
                  faults: Optional[FaultPlan] = None,
+                 recovery: Optional[RecoveryConfig] = None,
                  credit_regen_timeout_us: Optional[float] = None,
                  credit_watchdog_us: Optional[float] = None,
                  fidelity: Optional[Fidelity] = None,
@@ -237,6 +240,11 @@ class Fabric:
             raise SimulationError(
                 "port kills need a switched fabric; the direct "
                 "topology has no switch ports")
+        if recovery is not None and recovery.mode != "off" \
+                and topology == "direct":
+            raise SimulationError(
+                "recovery needs a switched fabric; the direct "
+                "topology has no alternate paths")
 
         self.sim = Simulator()
         self.topology = topology
@@ -275,6 +283,17 @@ class Fabric:
         # replaces per-cell delivery events for fused trains.
         self._train_sinks: dict[int, object] = {}
         self.faults = faults
+        # Recovery control plane (repro.recovery): constructed last,
+        # after wiring and fault scheduling, but the attribute must
+        # exist first -- route installation and boundary dispatch
+        # consult it.
+        self.recovery: Optional[RecoveryManager] = None
+        self._recovery_cfg = recovery
+        # Driver sessions by current wire VCI, so a reroute can
+        # retarget the sender in place.
+        self._tx_sessions: dict[int, object] = {}
+        # dead-edge tuple -> EcmpTables with those links masked.
+        self._masked_ecmp_cache: dict[tuple, object] = {}
         self.credit_regen_timeout_us = credit_regen_timeout_us
         self.credit_watchdog_us = credit_watchdog_us
         # Fault-site registry: site name -> FaultSite on links this
@@ -331,6 +350,9 @@ class Fabric:
                                  switching_delay_us, port_rate_mbps,
                                  port_queue_cells, efci_threshold_cells)
         self._schedule_faults()
+        if recovery is not None and recovery.mode != "off":
+            self.recovery = RecoveryManager(self, recovery)
+            self.recovery.arm()
 
     # -- sharding hooks -----------------------------------------------------------
     #
@@ -385,6 +407,8 @@ class Fabric:
                 self._uplink_arrived[host_index] += 1
             else:
                 self._isw_in_flight -= 1
+            if self.recovery is not None:
+                self.recovery.note_arrival(switch_index, cell.vci)
             self.switches[switch_index].input_cell(cell)
         elif kind == "refill":
             _, src, vci = msg
@@ -392,8 +416,20 @@ class Fabric:
         elif kind == "pause":
             _, src, vci = msg
             self.gates[src].pause(vci, self.sim.now + self.efci_pause_us)
+        elif kind == "dead":
+            self.recovery.apply_dead(*msg[1:])
         else:
             raise SimulationError(f"unknown boundary message {msg!r}")
+
+    def _broadcast_recovery(self, when: float, chan: tuple,
+                            msg: tuple) -> None:
+        """Fan a recovery declaration out to every fabric instance.
+        The base fabric is the whole fabric, so the broadcast is one
+        local event; a shard also mails it to its peers.  ``when`` is
+        detection time + the control delay, which the manager clamps
+        to ``prop_delay_us`` -- the window lookahead."""
+        key = self._chan_key(*chan)
+        self.sim.call_at(when, lambda: self._apply_boundary(msg), key=key)
 
     # -- cell trains --------------------------------------------------------------
 
@@ -420,6 +456,12 @@ class Fabric:
         it back into the per-cell events the plain path would have run
         (same times, same ordering keys)."""
         train.fired = True
+        # The commit event *is* the first cell's arrival (same time,
+        # same key), so convergence stamps agree with the per-cell
+        # path whether or not the train fuses.
+        if self.recovery is not None:
+            self.recovery.note_arrival(switch_index,
+                                       train.cells[0].vci)
         result = self.switches[switch_index].input_train(train)
         if result is None:
             # This event *is* the first cell's arrival; the rest get
@@ -809,6 +851,59 @@ class Fabric:
             trunk = self._interswitch[(a, b)]
             self.switches[a].add_route(in_vci, trunk, in_vci)
         self.switches[d_sw].add_route(in_vci, d_trunk, out_vci)
+        if self.recovery is not None:
+            hops = tuple([(a, self._interswitch[(a, b)])
+                          for a, b in zip(path, path[1:])]
+                         + [(d_sw, d_trunk)])
+            self.recovery.register_direction(src, dst, in_vci, out_vci,
+                                             hops)
+
+    def _masked_ecmp(self, dead_edges: tuple):
+        """ECMP tables with the given directed links masked out,
+        cached per mask (reroute storms re-resolve many flows against
+        the same surviving graph)."""
+        tables = self._masked_ecmp_cache.get(dead_edges)
+        if tables is None:
+            tables = build_ecmp_tables(self.topo, dead_edges)
+            self._masked_ecmp_cache[dead_edges] = tables
+        return tables
+
+    def register_tx_session(self, vci: int, session) -> None:
+        """Remember the driver session sending on ``vci`` so a path
+        failover can retarget it to a fresh wire VCI in place."""
+        self._tx_sessions[vci] = session
+
+    def _apply_reroute(self, src: int, dst: int, old_vci: int,
+                       new_vci: int, out_vci: int) -> None:
+        """Cut one direction of a flow over to its re-established VC.
+        The route tables were already installed on every instance;
+        this is the host-ownership-guarded half: retarget the sender's
+        driver session, migrate its cell sequence numbering, and move
+        the backpressure plumbing to the new wire VCI."""
+        host = self.hosts[src]
+        if host is not None:
+            host.txp.migrate_seq(old_vci, new_vci)
+            session = self._tx_sessions.pop(old_vci, None)
+            if session is not None:
+                session.vci = new_vci
+                self._tx_sessions[new_vci] = session
+        if self.backpressure == "none":
+            return
+        gate = self.gates[src]
+        if gate is not None:
+            gate.retire_vci(old_vci)
+            gate.open_vci(new_vci,
+                          window=(self.credit_window_cells
+                                  if self.backpressure == "credit"
+                                  else None))
+        d_sw, d_trunk = self._attach[dst]
+        if self.backpressure == "credit":
+            if self.owns_host(dst):
+                self.switches[d_sw].on_cell_forwarded(
+                    d_trunk, out_vci,
+                    self._credit_return_fn(src, new_vci))
+        else:
+            self._efci_sources[out_vci] = (src, new_vci)
 
     def _plumb_backpressure(self, src: int, dst: int, in_vci: int,
                             out_vci: int) -> None:
@@ -860,11 +955,13 @@ class Fabric:
         flow = self.open_flow(src, dst)
         app_s = app_d = None
         if self.hosts[src] is not None:
-            app_s, _ = self.hosts[src].open_raw_path(vci=flow.src_vci,
-                                                     **kw)
+            app_s, path_s = self.hosts[src].open_raw_path(
+                vci=flow.src_vci, **kw)
+            self.register_tx_session(flow.src_vci, path_s.sessions[0])
         if self.hosts[dst] is not None:
-            app_d, _ = self.hosts[dst].open_raw_path(vci=flow.dst_vci,
-                                                     echo=echo_dst, **kw)
+            app_d, path_d = self.hosts[dst].open_raw_path(
+                vci=flow.dst_vci, echo=echo_dst, **kw)
+            self.register_tx_session(flow.dst_vci, path_d.sessions[0])
         return app_s, app_d, flow
 
     def open_udp_flow(self, src: int, dst: int,
@@ -879,11 +976,13 @@ class Fabric:
             dst_port = src_port + 1
         app_s = app_d = None
         if self.hosts[src] is not None:
-            app_s, _ = self.hosts[src].open_udp_path(
+            app_s, path_s = self.hosts[src].open_udp_path(
                 src_port, dst_port, vci=flow.src_vci, **kw)
+            self.register_tx_session(flow.src_vci, path_s.sessions[0])
         if self.hosts[dst] is not None:
-            app_d, _ = self.hosts[dst].open_udp_path(
+            app_d, path_d = self.hosts[dst].open_udp_path(
                 dst_port, src_port, vci=flow.dst_vci, echo=echo_dst, **kw)
+            self.register_tx_session(flow.dst_vci, path_d.sessions[0])
         return app_s, app_d, flow
 
     # -- accounting -----------------------------------------------------------------
@@ -981,6 +1080,17 @@ class Fabric:
             "holds": injected == (delivered + corrupted + queued
                                   + dropped + lost),
         }
+
+    def recovery_stats(self) -> Optional[dict]:
+        """Recovery block for the cluster report, or None when the
+        control plane is off.  Routed through the same
+        combine/summarize pair the sharded merge uses, so both paths
+        serialize identically."""
+        if self.recovery is None:
+            return None
+        return summarize_recovery(
+            self.recovery.cfg,
+            combine_partials([self.recovery.partial()]))
 
     def fault_stats(self) -> Optional[dict]:
         """Fault counters for the cluster report, or None when the

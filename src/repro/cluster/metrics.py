@@ -34,6 +34,7 @@ class ClusterReport:
     workload: Optional[dict] = None
     backpressure: Optional[dict] = None
     faults: Optional[dict] = None
+    recovery: Optional[dict] = None
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -74,6 +75,19 @@ class ClusterReport:
                 f"{fl['corrupted_delivered']} delivered corrupted, "
                 f"{fl['credit_cells_lost']} credit cells lost, "
                 f"{dead} dead lane(s)")
+        if self.recovery:
+            rc = self.recovery
+            counters = rc["counters"]
+            line = (f"  recovery: mode {rc['mode']}, "
+                    f"{counters['elements_failed']} element(s) declared "
+                    f"dead, {counters['flows_rerouted']} flow(s) "
+                    f"rerouted, {counters['flows_unrecovered']} "
+                    f"unrecovered")
+            times = rc["recovery_time_us"]
+            if times:
+                line += (f"; recovery time p50 {times['p50']:.1f} us, "
+                         f"p99 {times['p99']:.1f} us")
+            lines.append(line)
         if self.drops and (self.drops.get("no_route")
                            or self.drops.get("queue_full")):
             lines.append(
@@ -145,6 +159,7 @@ def collect(fabric: Fabric,
         workload=workload.summary() if workload else None,
         backpressure=fabric.backpressure_stats(),
         faults=fabric.fault_stats(),
+        recovery=fabric.recovery_stats(),
     )
 
 

@@ -169,8 +169,36 @@ class ShardFabric(Fabric):
             self._may_emit_cache = self._compute_may_emit()
         return self._may_emit_cache
 
+    def _broadcast_recovery(self, when: float, chan: tuple,
+                            msg: tuple) -> None:
+        """A declaration fans out to every shard: applied locally and
+        mailed to each peer under the same channel key, so all shards
+        run the replicated reroute computation at the same simulated
+        time and the VCI allocator stays in lock-step."""
+        key = self._chan_key(*chan)
+        self.sim.call_at(when, self._applier(msg), key=key)
+        if self.n_shards > 1:
+            if not self.may_emit_boundary():
+                raise SimulationError(
+                    f"shard {self.shard_index} declared {msg[0]!r} "
+                    f"although its emission capability says it never "
+                    "can; the coalescing analysis missed the recovery "
+                    "control plane")
+            for dest in range(self.n_shards):
+                if dest != self.shard_index:
+                    self._outbox.append((dest, when, key, msg))
+
     def _compute_may_emit(self) -> bool:
         me = self.shard_index
+        # An armed recovery control plane can emit in ways the flow
+        # walk below cannot see: declaration broadcasts go to every
+        # peer, and a rerouted flow's cells cross different shard
+        # pairs than its original path.  The trigger set (the fault
+        # plan's kills) is global, so every shard flips to the
+        # conservative answer together.
+        if self.recovery is not None and self.faults is not None \
+                and (self.faults.port_kills or self.faults.lane_kills):
+            return True
         backpressured = self.backpressure != "none"
         for flow in self.flows:
             for src, dst, vci in ((flow.src, flow.dst, flow.src_vci),
@@ -289,6 +317,8 @@ class _ShardProgram:
             "switches": switches,
             "gates": gates,
             "clients": [asdict(c) for c in self.clients],
+            "recovery": (fabric.recovery.partial()
+                         if fabric.recovery is not None else None),
         }
 
     def probe(self) -> dict:
@@ -452,6 +482,13 @@ def merge_partials(fabric_kwargs: dict, spec: WorkloadSpec,
             gate_snaps.update(partial["gates"])
         backpressure["hosts"] = [gate_snaps[i] for i in range(n_hosts)]
 
+    recovery = None
+    rcfg = fabric_kwargs.get("recovery")
+    if rcfg is not None and rcfg.mode != "off":
+        from ..recovery import combine_partials, summarize_recovery
+        recovery = summarize_recovery(
+            rcfg, combine_partials([p["recovery"] for p in partials]))
+
     clients = _merge_clients(spec, partials)
     workload = WorkloadResult(spec=spec, clients=clients,
                               elapsed_us=t_end)
@@ -477,6 +514,7 @@ def merge_partials(fabric_kwargs: dict, spec: WorkloadSpec,
         workload=workload.summary(),
         backpressure=backpressure,
         faults=faults,
+        recovery=recovery,
     )
 
 

@@ -289,8 +289,10 @@ def _setup_rpc(fabric: Fabric, spec: WorkloadSpec, rng: random.Random,
 
     if host_s is not None:
         drv_s = host_s.driver.open_path(flow.src_vci)
+        fabric.register_tx_session(flow.src_vci, drv_s)
     if host_d is not None:
         drv_d = host_d.driver.open_path(flow.dst_vci)
+        fabric.register_tx_session(flow.dst_vci, drv_d)
         server = RpcServer(RpcProtocol(host_d.cpu, fabric.sim), drv_d)
         server.register(PROC_READ, lambda request: block,
                         service_us=spec.rpc_service_us)

@@ -35,6 +35,8 @@ def build_scenarios(seed: int = 1, quick: bool = True) -> list[dict]:
     proc backend."""
     from ..atm.aal5 import SegmentMode
     from ..cluster import WorkloadSpec
+    from ..recovery import RecoveryConfig
+    from ..topology import build_spec
 
     messages = 3 if quick else 8
     size = 2048 if quick else 8192
@@ -75,6 +77,25 @@ def build_scenarios(seed: int = 1, quick: bool = True) -> list[dict]:
             "expect_no_queue_full": True,
         },
     ]
+    # Self-healing: kill one lane of leaf0's uplink to spine0 after
+    # traffic is flowing; recovery must detect the dead port, reroute
+    # the affected flows through spine1, and deliver >= 90% of the
+    # offered messages -- without it the striped trunk silently eats a
+    # quarter of every affected flow forever.
+    clos = build_spec("clos", 4, pods=2, oversubscription=1.0)
+    scenarios.append({
+        "name": "port-kill-reroute",
+        "fabric_kwargs": kwargs(
+            topology="clos", pods=2, oversubscription=1.0,
+            faults=FaultPlan.parse("port=leaf0:2:1@1000", seed=seed,
+                                   topology=clos),
+            recovery=RecoveryConfig(mode="reroute")),
+        "spec": WorkloadSpec(pattern="all2all", kind="open", seed=seed,
+                             message_bytes=2048, rate_mbps=20.0,
+                             arrival="poisson",
+                             messages_per_client=6 if quick else 10),
+        "expect_recovery": True,
+    })
     if not quick:
         scenarios.append({
             "name": "efci-loss",
@@ -148,6 +169,33 @@ def run_scenario(scenario: dict, shard_counts: tuple[int, ...] = (1, 2),
         failures.append(
             f"{report.drops['queue_full']} queue-full drops under "
             f"credit backpressure")
+    if scenario.get("expect_recovery"):
+        recovery = report.recovery
+        if not recovery:
+            failures.append("no recovery block in the report")
+        else:
+            if recovery["counters"]["flows_rerouted"] < 1:
+                failures.append("no flow was rerouted after the kill")
+            if recovery["recovery_time_us"] is None:
+                failures.append(
+                    "no rerouted flow converged (no post-failover "
+                    "delivery observed)")
+        ratio = (workload["messages_received"]
+                 / max(1, workload["messages_sent"]))
+        if ratio < 0.9:
+            failures.append(
+                f"only {workload['messages_received']}/"
+                f"{workload['messages_sent']} messages delivered "
+                f"post-failover (need >= 90%)")
+    # Per-site fault accounting for the JSON report: what each
+    # injection point actually did to the traffic that crossed it.
+    fault_sites = {
+        name: {"injected": site["cells_seen"],
+               "lost": site["cells_lost"],
+               "corrupted": site["cells_corrupted"]}
+        for name, site in sorted(
+            (report.faults or {}).get("sites", {}).items())
+    }
     return {
         "name": scenario["name"],
         "ok": not failures,
@@ -155,6 +203,8 @@ def run_scenario(scenario: dict, shard_counts: tuple[int, ...] = (1, 2),
         "shard_counts": list(shard_counts),
         "conservation": cons,
         "faults": report.faults,
+        "fault_sites": fault_sites,
+        "recovery": report.recovery,
     }
 
 

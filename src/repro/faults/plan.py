@@ -132,7 +132,8 @@ class FaultPlan:
 
     @classmethod
     def parse(cls, spec: str, seed: int = 1,
-              switch_names: "dict | None" = None) -> "FaultPlan":
+              switch_names: "dict | None" = None,
+              topology=None, n_hosts: "int | None" = None) -> "FaultPlan":
         """Parse the CLI grammar, e.g.::
 
             loss=0.01,corrupt=0.001,credit-loss=0.05,
@@ -146,7 +147,73 @@ class FaultPlan:
         be a topology coordinate name instead of an index --
         ``port=leaf0:0:1@800`` or ``port=t0.1.1:2:0@500`` -- so fault
         sites are addressable by where they sit in the fabric.
+
+        ``topology`` (a :class:`~repro.topology.spec.TopologySpec`)
+        and ``n_hosts`` turn on parse-time validation: switch names,
+        switch/trunk indices, host indices, and lane numbers are
+        checked against the fabric shape, and a bad coordinate raises
+        ``ValueError`` naming the offending token instead of silently
+        arming a fault nobody will ever hit.  ``topology`` implies
+        ``switch_names`` and (unless given) ``n_hosts``.
         """
+        from ..hw.specs import STRIPE_LINKS
+
+        if topology is not None:
+            if switch_names is None:
+                switch_names = topology.name_table()
+            if n_hosts is None:
+                n_hosts = topology.n_hosts
+
+        def check_lane(lane: int) -> None:
+            if not 0 <= lane < STRIPE_LINKS:
+                raise ValueError(
+                    f"lane {lane} out of range (striped links have "
+                    f"{STRIPE_LINKS} lanes)")
+
+        def check_host(host: int) -> None:
+            if host < 0 or (n_hosts is not None and host >= n_hosts):
+                bound = f" (cluster has {n_hosts} hosts)" \
+                    if n_hosts is not None else ""
+                raise ValueError(f"host {host} out of range{bound}")
+
+        def check_at(at: float) -> None:
+            if at < 0.0:
+                raise ValueError(f"time {at} us is negative")
+
+        def resolve_switch(sw_tok: str) -> int:
+            if switch_names and sw_tok in switch_names:
+                return switch_names[sw_tok]
+            try:
+                sw = int(sw_tok)
+            except ValueError:
+                known = ", ".join(sorted(switch_names)) \
+                    if switch_names else "none"
+                raise ValueError(
+                    f"unknown switch {sw_tok!r}; known: {known}") \
+                    from None
+            if sw < 0 or (topology is not None
+                          and sw >= topology.n_switches):
+                bound = f" (topology has {topology.n_switches} " \
+                    f"switches)" if topology is not None else ""
+                raise ValueError(f"switch {sw} out of range{bound}")
+            return sw
+
+        def check_trunk(sw: int, trunk: int) -> None:
+            if trunk < 0:
+                raise ValueError(f"trunk {trunk} out of range")
+            if topology is None:
+                return
+            # Trunk numbering mirrors the fabric's wiring walk: one
+            # downlink per attached host, then one per outgoing
+            # inter-switch link, in spec order.
+            n_trunks = (len(topology.hosts_on(sw))
+                        + sum(1 for s, _ in topology.links if s == sw))
+            if trunk >= n_trunks:
+                raise ValueError(
+                    f"trunk {trunk} out of range (switch "
+                    f"{topology.switch_names[sw]!r} has {n_trunks} "
+                    f"trunks)")
+
         kw: dict = {"seed": seed, "flaps": [], "lane_kills": [],
                     "port_kills": []}
         for token in filter(None, (t.strip() for t in spec.split(","))):
@@ -167,21 +234,30 @@ class FaultPlan:
                     where, _, when = value.partition("@")
                     at, _, dur = when.partition("+")
                     host, lane = (int(x) for x in where.split(":"))
+                    check_host(host)
+                    check_lane(lane)
+                    check_at(float(at))
+                    if float(dur) < 0.0:
+                        raise ValueError(f"duration {dur} us is "
+                                         f"negative")
                     kw["flaps"].append(LinkFlap(
                         host=host, lane=lane, at_us=float(at),
                         duration_us=float(dur)))
                 elif key == "kill":
                     where, _, at = value.partition("@")
                     host, lane = (int(x) for x in where.split(":"))
+                    check_host(host)
+                    check_lane(lane)
+                    check_at(float(at))
                     kw["lane_kills"].append(LaneKill(
                         host=host, lane=lane, at_us=float(at)))
                 elif key == "port":
                     where, _, at = value.partition("@")
                     sw_tok, trunk, lane = where.split(":")
-                    if switch_names and sw_tok in switch_names:
-                        sw = switch_names[sw_tok]
-                    else:
-                        sw = int(sw_tok)
+                    sw = resolve_switch(sw_tok.strip())
+                    check_trunk(sw, int(trunk))
+                    check_lane(int(lane))
+                    check_at(float(at))
                     kw["port_kills"].append(PortKill(
                         switch=sw, trunk=int(trunk), lane=int(lane),
                         at_us=float(at)))

@@ -33,7 +33,8 @@ from typing import Any, Generator, Optional
 from ..atm.aal5 import Aal5Error, BadCrc, Reassembler, SegmentMode, encode_pdu
 from ..atm.cell import Cell
 from ..atm.sar import (
-    ConcurrentReassembler, SequenceNumberReassembler, SkewOverflow,
+    ConcurrentReassembler, LossDetected, SequenceNumberReassembler,
+    SkewOverflow,
 )
 from ..hw.dma import DmaMode
 from ..hw.specs import AAL_PAYLOAD_BYTES
@@ -102,7 +103,8 @@ class RxProcessor:
                  interrupt_mode: InterruptMode = InterruptMode.COALESCED,
                  flow_controlled: bool = False,
                  stripe_width: int = 4,
-                 combine_wait_us: float = 0.75):
+                 combine_wait_us: float = 0.75,
+                 loss_resync_cells: Optional[int] = 32):
         if (reassembly_mode is not SegmentMode.IN_ORDER
                 and not board.fidelity.copy_data):
             raise SimulationError(
@@ -114,6 +116,10 @@ class RxProcessor:
         self.flow_controlled = flow_controlled
         self.stripe_width = stripe_width
         self.combine_wait_us = combine_wait_us
+        # SEQUENCE mode: declare a destroyed cell after this many later
+        # arrivals instead of wedging until the skew window overflows
+        # (which a short flow may never do).  None restores the wedge.
+        self.loss_resync_cells = loss_resync_cells
         self.bufsize = board.spec.recv_buffer_bytes
         self._states: dict[int, _VciState] = {}
         self._dma_tokens = Store(sim, "rx-dma-tokens")
@@ -128,6 +134,7 @@ class RxProcessor:
         # cell wedged the resequencer, and stale duplicates dropped
         # after base_seq moved past them.
         self.skew_resyncs = 0
+        self.loss_resyncs = 0
         self.cells_stale = 0
         self.cells_received = 0
         self.cells_dropped_no_buffer = 0
@@ -170,7 +177,8 @@ class RxProcessor:
 
     def _new_detector(self, vci: int) -> Any:
         if self.reassembly_mode is SegmentMode.SEQUENCE:
-            return SequenceNumberReassembler(vci)
+            return SequenceNumberReassembler(
+                vci, loss_resync_cells=self.loss_resync_cells)
         if self.reassembly_mode is SegmentMode.CONCURRENT:
             return ConcurrentReassembler(vci, self.stripe_width)
         if self.board.fidelity.copy_data:
@@ -374,6 +382,12 @@ class RxProcessor:
                 # that overflowed (see SequenceNumberReassembler.resync).
                 self.skew_resyncs += 1
                 state.detector.resync(cell.seq + 1)
+            elif isinstance(exc, LossDetected):
+                # The gap outlived the loss bound: skip the damaged
+                # PDU only; later PDUs stay buffered and drain as
+                # their own EOMs complete.
+                self.loss_resyncs += 1
+                state.detector.gap_resync()
             yield from self._deliver_pdu(state, error=True)
             return
         completed = self._completed(result)

@@ -205,12 +205,25 @@ class TxProcessor:
         self.cells_sent = 0
         self.violations = 0
         self._seq_counters: dict[int, int] = {}
+        self.seq_migrations = 0
         self._last_served = 0
         self._active: dict[int, _PduTransmission] = {}
         for channel in board.channels:
             channel.tx_queue.became_nonempty.subscribe(
                 lambda _v: self.work.fire())
         self.process = spawn(sim, self._run(), "tx-processor")
+
+    def migrate_seq(self, old_vci: int, new_vci: int) -> None:
+        """Carry a flow's cell sequence numbering to a new VCI (path
+        failover).  The receiver's reassembler keys its state by the
+        *delivered* VCI, which a reroute never changes, so numbering
+        must stay monotone across the retarget -- otherwise every
+        post-failover cell reads as a stale duplicate and is dropped.
+        A PDU already mid-transmission keeps the old VCI (and the old,
+        possibly dead, path); the gap it leaves is ordinary loss to
+        the AAL5 layer."""
+        self._seq_counters[new_vci] = self._seq_counters.get(old_vci, 0)
+        self.seq_migrations += 1
 
     # -- scheduling -----------------------------------------------------------
 

@@ -1,0 +1,16 @@
+"""Self-healing control plane: failure detection, deterministic
+reroute, and recovery-time measurement (DESIGN.md section 12)."""
+
+from .config import RECOVERY_MODES, RecoveryConfig
+from .manager import (EKIND_LANE, EKIND_PORT, RecoveryManager,
+                      combine_partials, summarize_recovery)
+
+__all__ = [
+    "RecoveryConfig",
+    "RECOVERY_MODES",
+    "RecoveryManager",
+    "combine_partials",
+    "summarize_recovery",
+    "EKIND_PORT",
+    "EKIND_LANE",
+]

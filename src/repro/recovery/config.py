@@ -1,0 +1,74 @@
+"""Configuration for the recovery control plane.
+
+A frozen value object so it pickles into ``fabric_kwargs`` for the
+sharded proc backend and hashes into cache keys, the same discipline
+as :class:`repro.topology.spec.TopologySpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..sim import SimulationError
+
+RECOVERY_MODES = ("off", "detect", "reroute")
+
+
+@dataclass(frozen=True)
+class RecoveryConfig:
+    """Knobs for failure detection and path failover.
+
+    ``mode``
+        ``"off"`` disables the subsystem, ``"detect"`` runs heartbeat
+        probes and records declarations without touching routes,
+        ``"reroute"`` additionally re-resolves affected flows over
+        the surviving fabric.
+    ``hb_interval_us``
+        Heartbeat probe period per monitored element.  Each element's
+        probe phase is a ``fault_hash`` of its name, so probes are
+        content-addressed, not enumeration-ordered.
+    ``detect_timeout_us``
+        How long an element must stay unresponsive before it is
+        declared dead (measured from the first probe that found it
+        down).
+    ``ctrl_delay_us``
+        Propagation delay of the declaration broadcast.  ``None``
+        uses the fabric's ``prop_delay_us``; smaller values are
+        clamped up to it -- the broadcast crosses shard boundaries
+        and must respect the conservative window lookahead.
+    ``setup_rtt_per_hop_us``
+        VC re-establishment settling time per path hop (signalling
+        round trip).  ``None`` uses ``2 * prop_delay_us``.
+    ``backoff_us``
+        Base of the deterministic exponential backoff between reroute
+        attempts: attempt ``k`` retries after ``backoff_us * 2**k``.
+    ``max_retries``
+        Attempts before a flow is declared unrecoverable and left to
+        degrade gracefully (counted, not wedged).
+    """
+
+    mode: str = "detect"
+    hb_interval_us: float = 50.0
+    detect_timeout_us: float = 100.0
+    ctrl_delay_us: Optional[float] = None
+    setup_rtt_per_hop_us: Optional[float] = None
+    backoff_us: float = 100.0
+    max_retries: int = 4
+
+    def __post_init__(self) -> None:
+        if self.mode not in RECOVERY_MODES:
+            raise SimulationError(
+                f"unknown recovery mode {self.mode!r}; choose from "
+                f"{RECOVERY_MODES}")
+        if self.hb_interval_us <= 0:
+            raise SimulationError("hb_interval_us must be positive")
+        if self.detect_timeout_us < 0:
+            raise SimulationError("detect_timeout_us must be >= 0")
+        if self.backoff_us <= 0:
+            raise SimulationError("backoff_us must be positive")
+        if self.max_retries < 1:
+            raise SimulationError("max_retries must be >= 1")
+
+
+__all__ = ["RecoveryConfig", "RECOVERY_MODES"]

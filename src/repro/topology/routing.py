@@ -83,12 +83,26 @@ class EcmpTables:
         return tuple(path)
 
 
-def build_ecmp_tables(spec: TopologySpec) -> EcmpTables:
+def build_ecmp_tables(spec: TopologySpec,
+                      dead_edges=()) -> EcmpTables:
     """BFS every destination once; candidates are sorted neighbors one
     hop closer to the destination, so the table is a pure function of
-    the spec."""
-    dists = bfs_distances(spec)
+    the spec.
+
+    ``dead_edges`` masks *directed* ``(s, t)`` links out of the
+    graph -- the recovery control plane rebuilds the tables with
+    failed trunks excluded, and flows re-resolve over what survives.
+    A destination with no surviving path gets an empty candidate set,
+    so :meth:`EcmpTables.path` raises and the caller can degrade the
+    flow gracefully instead of wedging.
+    """
+    dead = frozenset(dead_edges)
+    dists = bfs_distances(spec, dead)
     adjacency = spec.neighbors()
+    if dead:
+        adjacency = tuple(
+            tuple(b for b in row if (a, b) not in dead)
+            for a, row in enumerate(adjacency))
     n = spec.n_switches
     next_hops = []
     for s in range(n):

@@ -120,9 +120,18 @@ class TopologySpec:
                 if dists[s][t] < 0]
 
 
-def bfs_distances(spec: TopologySpec) -> list:
-    """Hop counts between every switch pair; -1 when unreachable."""
+def bfs_distances(spec: TopologySpec, dead_edges=()) -> list:
+    """Hop counts between every switch pair; -1 when unreachable.
+
+    ``dead_edges`` is a collection of *directed* ``(s, t)`` links to
+    exclude -- the recovery control plane's mask for failed trunks.
+    """
     adjacency = spec.neighbors()
+    if dead_edges:
+        dead = frozenset(dead_edges)
+        adjacency = tuple(
+            tuple(b for b in row if (a, b) not in dead)
+            for a, row in enumerate(adjacency))
     n = spec.n_switches
     table = []
     for source in range(n):

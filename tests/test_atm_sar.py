@@ -122,6 +122,79 @@ def test_seq_property_any_skew(pdus, seed):
     assert out == pdus
 
 
+def test_seq_loss_resync_skips_only_damaged_pdu():
+    """A destroyed cell must not wedge the stream: once the gap
+    outlives the loss bound, the damaged PDU is skipped and every
+    later PDU still reassembles."""
+    from repro.atm import LossDetected
+    pdus = [bytes([k]) * 200 for k in range(4)]
+    streams = _per_link_streams(pdus, SegmentMode.SEQUENCE)
+    arrival = [c for s in streams for c in s]
+    arrival.sort(key=lambda c: c.seq)
+    victim = arrival[1]                  # mid-PDU cell of the first PDU
+    reasm = SequenceNumberReassembler(vci=1, loss_resync_cells=8)
+    out = []
+    caught = 0
+    for cell in arrival:
+        if cell is victim:
+            continue
+        try:
+            out += reasm.push(cell)
+        except LossDetected:
+            caught += 1
+            reasm.gap_resync()
+    assert caught == 1
+    assert reasm.loss_resyncs == 1
+    assert out == pdus[1:]
+    assert reasm.cells_pending == 0
+
+
+def test_seq_loss_resync_with_lost_eom():
+    """Losing the EOM itself folds the next PDU into the damage
+    region (its EOM bounds the skip) but the stream keeps going."""
+    from repro.atm import LossDetected
+    pdus = [bytes([k]) * 200 for k in range(4)]
+    streams = _per_link_streams(pdus, SegmentMode.SEQUENCE)
+    arrival = sorted((c for s in streams for c in s), key=lambda c: c.seq)
+    victim = next(c for c in arrival if c.eom)   # first PDU's EOM
+    reasm = SequenceNumberReassembler(vci=1, loss_resync_cells=8)
+    out = []
+    for cell in arrival:
+        if cell is victim:
+            continue
+        try:
+            out += reasm.push(cell)
+        except LossDetected:
+            reasm.gap_resync()
+    assert out == pdus[2:]
+    assert reasm.cells_pending == 0
+
+
+def test_seq_loss_bound_tolerates_ordinary_skew():
+    """Skew-class misordering alone must never trip the loss bound."""
+    pdus = [bytes([k]) * 300 for k in range(5)]
+    streams = _per_link_streams(pdus, SegmentMode.SEQUENCE)
+    arrival = _skew_interleave(streams, random.Random(7))
+    reasm = SequenceNumberReassembler(vci=1, loss_resync_cells=8)
+    out = []
+    for cell in arrival:
+        out += reasm.push(cell)          # must not raise
+    assert out == pdus
+
+
+def test_seq_loss_resync_default_off():
+    """Without a loss bound the old semantics hold: the stream waits
+    indefinitely on a gap."""
+    data = b"z" * 44 * 20
+    cells = segment(data, vci=1, mode=SegmentMode.SEQUENCE)
+    reasm = SequenceNumberReassembler(vci=1)
+    out = []
+    for cell in cells[1:]:               # first cell destroyed
+        out += reasm.push(cell)
+    assert out == []
+    assert reasm.cells_pending == len(cells) - 1
+
+
 # -- Strategy 2: concurrent per-link reassembly --------------------------------
 
 def test_concurrent_reassembly_in_order():

@@ -124,6 +124,51 @@ def test_link_flap_loses_cells_only_while_down():
     assert site["cells_seen"] > site["cells_lost"]
 
 
+def test_link_flap_overlapping_end_of_run_still_quiesces():
+    # The down window extends far past the last cell: nothing must
+    # keep the simulation alive waiting for the link to come back,
+    # and the accounting still closes.
+    fabric, report = _run_cluster(
+        FaultPlan.parse("flap=0:0@20+1000000000", seed=3), n_hosts=2)
+    site = report.faults["sites"]["up.h0.l0"]
+    assert site["cells_lost_down"] > 0
+    assert not site["dead"]          # a flap is an outage, not a kill
+    assert report.conservation["holds"]
+    assert report.conservation["queued"] == 0
+
+
+def test_link_flap_zero_duration_loses_nothing():
+    # A zero-width down window ([at, at)) is empty: the run must be
+    # indistinguishable from the fault-free baseline.
+    fabric, report = _run_cluster(
+        FaultPlan.parse("flap=0:0@50+0", seed=3), n_hosts=2)
+    site = report.faults["sites"]["up.h0.l0"]
+    assert site["cells_lost"] == 0
+    assert site["cells_lost_down"] == 0
+    plain_fabric, plain = _run_cluster(None, n_hosts=2)
+    assert report.conservation == plain.conservation
+    assert report.workload == plain.workload
+
+
+def test_two_back_to_back_flaps_extend_the_outage():
+    # Second flap begins the instant the first ends: the site is down
+    # for the contiguous union and recovers after, exactly as a single
+    # double-length flap would behave.
+    def run(spec_str):
+        fabric, report = _run_cluster(
+            FaultPlan.parse(spec_str, seed=3), n_hosts=2)
+        return report.faults["sites"]["up.h0.l0"], report
+
+    double, rep_d = run("flap=0:0@20+30,flap=0:0@50+30")
+    single, rep_s = run("flap=0:0@20+60")
+    assert double["cells_lost_down"] > 0
+    assert double["cells_lost_down"] == single["cells_lost_down"]
+    assert not double["dead"]
+    assert rep_d.conservation["holds"]
+    # The lane carried traffic again once the second window closed.
+    assert double["cells_seen"] > double["cells_lost"]
+
+
 def test_port_kill_sinks_arrivals_at_the_switch():
     fabric, report = _run_cluster(
         FaultPlan.parse("port=0:1:0@30", seed=3), n_hosts=2)
@@ -143,12 +188,39 @@ def test_port_kill_rejected_on_direct_topology():
 
 
 def test_fault_plan_validates_targets():
+    # Without a topology the fabric still rejects bad targets at
+    # construction time; lane bounds need no topology and fail at
+    # parse time already.
     with pytest.raises(SimulationError, match="host"):
         Fabric(DS5000_200, 2, faults=FaultPlan.parse("kill=9:0@10"))
-    with pytest.raises(SimulationError, match="lane"):
-        Fabric(DS5000_200, 2, faults=FaultPlan.parse("flap=0:7@10+5"))
+    with pytest.raises(ValueError, match="lane 7"):
+        FaultPlan.parse("flap=0:7@10+5")
     with pytest.raises(SimulationError, match="switch"):
         Fabric(DS5000_200, 2, faults=FaultPlan.parse("port=3:0:0@10"))
+
+
+def test_fault_plan_parse_validates_against_topology():
+    from repro.topology import build_spec
+    topo = build_spec("clos", 4, pods=2, oversubscription=1.0)
+    # Good coordinates parse (leaf0 trunk 2 is its first spine uplink).
+    plan = FaultPlan.parse("port=leaf0:2:1@100", topology=topo)
+    assert plan.port_kills[0].switch == 0
+    # Every bad coordinate names the offending token.
+    for bad, why in (
+            ("port=leaf9:0:0@100", "unknown switch"),
+            ("port=7:0:0@100", "switch 7 out of range"),
+            ("port=leaf0:9:0@100", "trunk 9 out of range"),
+            ("port=leaf0:2:4@100", "lane 4 out of range"),
+            ("kill=4:0@100", "host 4 out of range"),
+            ("flap=0:0@-5+10", "negative"),
+            ("flap=0:0@5+-10", "negative"),
+    ):
+        with pytest.raises(ValueError, match="bad fault token") as err:
+            FaultPlan.parse(bad, topology=topo)
+        assert why in str(err.value), (bad, str(err.value))
+    # n_hosts alone bounds host indices without switch knowledge.
+    with pytest.raises(ValueError, match="host 2 out of range"):
+        FaultPlan.parse("kill=2:0@100", n_hosts=2)
 
 
 # -- RDP end-to-end over an unreliable fabric ---------------------------------
