@@ -1,13 +1,19 @@
 """Static analysis and runtime sanitizers for the simulation tree.
 
 :mod:`repro.analysis.lint` -- the AST determinism linter
-(``python -m repro lint``); :mod:`repro.analysis.sanitize` -- the
-SRSW / windowing / conservation sanitizers (``--sanitize``).
+(``python -m repro lint``); :mod:`repro.analysis.ownership` -- the
+static SRSW/actor race checker (``python -m repro check``);
+:mod:`repro.analysis.causality` -- the trace-driven happens-before
+verifier (``repro check --replay``); :mod:`repro.analysis.sanitize`
+-- the SRSW / windowing / conservation sanitizers (``--sanitize``).
 """
 
-from . import lint, sanitize
+from . import causality, lint, ownership, sanitize
+from .causality import build_trace_doc, verify_trace
 from .lint import Finding, lint_source, lint_tree
+from .ownership import check_source, check_tree
 from .sanitize import SanitizerError
 
-__all__ = ["lint", "sanitize", "Finding", "lint_source", "lint_tree",
-           "SanitizerError"]
+__all__ = ["causality", "lint", "ownership", "sanitize", "Finding",
+           "lint_source", "lint_tree", "check_source", "check_tree",
+           "build_trace_doc", "verify_trace", "SanitizerError"]

@@ -1,0 +1,176 @@
+"""Trace-driven happens-before verifier for sharded runs.
+
+The sharded engine's byte-identity claim (``--shards N`` == ``--shards
+1``) rests on one causality invariant: *every cross-shard effect is
+applied through a boundary message emitted at least one lookahead
+window before its effect time*.  The conservative window engine only
+exchanges mailboxes at horizon barriers, so a message scheduled closer
+than the lookahead could arrive after its effect time has already been
+simulated on the destination shard -- a happens-before violation that
+the determinism tests would surface only as a mysterious byte diff.
+
+``repro cluster --trace-out t.json`` records every boundary send and
+delivery (:class:`~repro.cluster.sharded.ShardFabric` keeps the log;
+zero-cost when off).  This module replays such a trace and checks:
+
+1. **Emission horizon**: each send satisfies ``when - emit >=
+   lookahead`` -- the message was emitted a full window before its
+   effect time, so the window engine provably delivers it in time.
+2. **Timeliness**: each delivery was handed to the destination
+   simulator at ``now <= when`` -- the effect was scheduled, never
+   applied late.
+3. **Pairing**: sends and deliveries match one-to-one on
+   ``(dest shard, when, key, kind)`` -- nothing lost, nothing applied
+   without a corresponding emission.
+4. **Channel monotonicity**: per boundary channel (the content key
+   minus its sequence counter), both emit and effect times are
+   non-decreasing in sequence order -- FIFO per channel, the property
+   the content-keyed ordering relies on.
+
+Violation messages name both events of an unordered pair.
+
+Usage::
+
+    python -m repro cluster --hosts 8 --shards 2 --trace-out t.json
+    python -m repro check --replay t.json
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+TRACE_VERSION = 1
+
+# Slack for float round-trips through JSON; simulation times are
+# microseconds, so 1e-9 us is far below any real scheduling delta.
+_EPS = 1e-9
+
+
+def build_trace_doc(shard_traces: list, n_shards: int,
+                    lookahead_us: float) -> dict:
+    """Assemble the per-shard event logs into one trace document.
+
+    ``shard_traces`` is a list (one entry per shard) of event-record
+    lists as accumulated by ``ShardFabric``; entries may be ``None``
+    when a shard recorded nothing.
+    """
+    events = []
+    for records in shard_traces:
+        events.extend(records or ())
+    events.sort(key=lambda e: (e["when"], str(e["key"]), e["type"],
+                               e["shard"]))
+    return {
+        "version": TRACE_VERSION,
+        "n_shards": n_shards,
+        "lookahead_us": lookahead_us,
+        "events": events,
+    }
+
+
+def _fmt(event: dict) -> str:
+    key = tuple(event["key"])
+    if event["type"] == "send":
+        return (f"send(shard {event['shard']} -> {event['dest']}, "
+                f"kind '{event['kind']}', key {key}, "
+                f"emit t={event['emit']:.3f}, "
+                f"effect t={event['when']:.3f})")
+    return (f"recv(shard {event['shard']}, kind '{event['kind']}', "
+            f"key {key}, delivered t={event['at']:.3f}, "
+            f"effect t={event['when']:.3f})")
+
+
+def verify_trace(doc: dict) -> list:
+    """All happens-before violations in one trace document."""
+    if doc.get("version") != TRACE_VERSION:
+        return [f"unknown trace version {doc.get('version')!r} "
+                f"(expected {TRACE_VERSION})"]
+    lookahead = float(doc["lookahead_us"])
+    events = doc.get("events", [])
+    violations = []
+
+    sends = [e for e in events if e["type"] == "send"]
+    recvs = [e for e in events if e["type"] == "recv"]
+
+    # 1. Emission horizon.
+    for e in sends:
+        if e["when"] - e["emit"] < lookahead - _EPS:
+            violations.append(
+                f"emission horizon violated: {_fmt(e)} schedules its "
+                f"effect only {e['when'] - e['emit']:.3f} us after "
+                f"emission, inside the {lookahead:.3f} us lookahead "
+                f"window -- the destination shard may already have "
+                f"simulated past t={e['when']:.3f}")
+
+    # 2. Timeliness of deliveries.
+    for e in recvs:
+        if e["at"] > e["when"] + _EPS:
+            violations.append(
+                f"late delivery: {_fmt(e)} arrived at "
+                f"t={e['at']:.3f}, after its effect time "
+                f"t={e['when']:.3f} had already been simulated")
+
+    # 3. Send/recv pairing on (dest, when, key, kind).
+    def pair_key(e: dict) -> tuple:
+        shard = e["dest"] if e["type"] == "send" else e["shard"]
+        return (shard, round(e["when"], 9), tuple(e["key"]),
+                e["kind"])
+
+    send_index: dict = {}
+    for e in sends:
+        send_index.setdefault(pair_key(e), []).append(e)
+    for e in recvs:
+        bucket = send_index.get(pair_key(e))
+        if bucket:
+            bucket.pop()
+        else:
+            violations.append(
+                f"effect without a boundary message: {_fmt(e)} has "
+                f"no matching send -- cross-shard state reached "
+                f"without passing through a boundary channel")
+    for _, bucket in sorted(send_index.items(),
+                            key=lambda kv: str(kv[0])):
+        for e in bucket:
+            violations.append(
+                f"lost boundary message: {_fmt(e)} was never "
+                f"delivered on shard {e['dest']}")
+
+    # 4. Per-channel monotonicity: the content key is chan + (seq,).
+    channels: dict = {}
+    for e in sends:
+        key = tuple(e["key"])
+        if len(key) < 2 or not isinstance(key[-1], int):
+            continue
+        channels.setdefault(key[:-1], []).append(e)
+    for chan, chan_events in sorted(channels.items(),
+                                    key=lambda kv: str(kv[0])):
+        chan_events.sort(key=lambda e: e["key"][-1])
+        for prev, cur in zip(chan_events, chan_events[1:]):
+            if cur["when"] < prev["when"] - _EPS:
+                violations.append(
+                    f"happens-before violation on channel {chan}: "
+                    f"{_fmt(cur)} takes effect before its "
+                    f"predecessor {_fmt(prev)} despite the later "
+                    f"sequence number -- this event pair is "
+                    f"unordered")
+            if cur["emit"] < prev["emit"] - _EPS:
+                violations.append(
+                    f"emission-order violation on channel {chan}: "
+                    f"{_fmt(cur)} was emitted before its "
+                    f"predecessor {_fmt(prev)} despite the later "
+                    f"sequence number -- this event pair is "
+                    f"unordered")
+    return violations
+
+
+def verify_trace_file(path: Path) -> list:
+    """Load and verify a trace written by ``--trace-out``."""
+    try:
+        doc = json.loads(Path(path).read_text())
+    except (OSError, ValueError) as exc:
+        return [f"unreadable trace: {exc}"]
+    return verify_trace(doc)
+
+
+__all__ = ["TRACE_VERSION", "build_trace_doc", "verify_trace",
+           "verify_trace_file"]

@@ -60,6 +60,28 @@ def actor(name: str):
         _ACTOR_STACK.pop()
 
 
+class _NullContext:
+    """Reusable no-op context; cheaper than contextlib.nullcontext()
+    on the per-cell fast path (no allocation per entry)."""
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+def maybe_actor(name: str):
+    """``actor(name)`` when the sanitizers are enabled, free
+    otherwise -- model fast paths (cell-train fold/expansion, the
+    per-cell processor loops) use this so attribution costs nothing
+    in unsanitized runs."""
+    return actor(name) if _enabled else _NULL_CONTEXT
+
+
 def current_actor(by_host: bool) -> str:
     if _ACTOR_STACK:
         return _ACTOR_STACK[-1]
@@ -214,7 +236,8 @@ def enabled():
 
 
 __all__ = [
-    "SanitizerError", "SimSanitizer", "actor", "current_actor",
+    "SanitizerError", "SimSanitizer", "actor", "maybe_actor",
+    "current_actor",
     "check_window_conservation", "enable", "disable", "enabled",
     "is_enabled",
 ]

@@ -58,6 +58,11 @@ class SequenceNumberReassembler:
     the cell in the reassembly buffer); the framing bit still marks PDU
     boundaries.  ``window`` bounds how far ahead of the oldest missing
     cell a sequence number may run.
+
+    Reassembly state belongs to the receive processor alone: cells
+    enter via ``push`` and the resync paths, never concurrently.
+
+    SRSW: _cells via push, resync, gap_resync
     """
 
     def __init__(self, vci: int, window: int = 1024,

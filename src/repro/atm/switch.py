@@ -190,7 +190,15 @@ class PortStats:
 
 
 class CellSwitch:
-    """VCI-routed, output-queued cell switch with per-lane ports."""
+    """VCI-routed, output-queued cell switch with per-lane ports.
+
+    ``input_train`` is the fused cell-train commit: it may only do
+    arithmetic on counters and virtual queue state (RACE203), since
+    per-cell expansion replays the same cells as individual
+    ``input_cell`` events.
+
+    Fold: input_train
+    """
 
     def __init__(self, sim: Simulator, name: str = "switch",
                  port_rate_mbps: float = OC3_MBPS,
@@ -612,7 +620,7 @@ class CellSwitch:
                                   "forwarded": c.forwarded,
                                   "dropped": c.dropped,
                                   "max_depth": c.max_depth}
-                            for vci, c in port.vci_counters.items()})
+                            for vci, c in sorted(port.vci_counters.items())})
             for trunk_id, ports in sorted(self._trunks.items())
             for lane, port in enumerate(ports)
         ]

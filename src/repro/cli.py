@@ -164,7 +164,7 @@ def _cmd_cluster(args) -> None:
         arrival="poisson" if args.poisson else "constant",
         requests_per_client=args.messages)
     try:
-        if args.shards > 1:
+        if args.shards > 1 or args.trace_out:
             if args.sweep:
                 raise SimulationError(
                     "--sweep runs many independent fabrics; combine "
@@ -173,7 +173,8 @@ def _cmd_cluster(args) -> None:
             report, _run = run_cluster_sharded(
                 fabric_kwargs, spec, args.shards,
                 backend=args.shard_backend, sanitize=args.sanitize,
-                coalesce=args.coalesce)
+                coalesce=args.coalesce,
+                trace_path=args.trace_out)
             print(report.to_json() if args.json else report.render())
             return
         if args.sweep:
@@ -229,6 +230,21 @@ def _cmd_lint(args) -> None:
     if args.json:
         argv.append("--json")
     raise SystemExit(lint_main(argv))
+
+
+def _cmd_check(args) -> None:
+    from .analysis.ownership import main as check_main
+
+    argv = []
+    if args.root:
+        argv += ["--root", args.root]
+    if args.suppressions:
+        argv += ["--suppressions", args.suppressions]
+    if args.json:
+        argv.append("--json")
+    for trace in args.replay or ():
+        argv += ["--replay", trace]
+    raise SystemExit(check_main(argv))
 
 
 def _cmd_latency(args) -> None:
@@ -352,6 +368,13 @@ def build_parser() -> argparse.ArgumentParser:
                          action="store_false",
                          help="classic fixed-width windows (one "
                               "lookahead per barrier)")
+    cluster.add_argument("--trace-out", metavar="FILE", default=None,
+                         help="record every cross-shard boundary "
+                              "send/delivery into a happens-before "
+                              "trace document, verifiable with "
+                              "'repro check --replay FILE' (routes "
+                              "through the sharded engine even for "
+                              "--shards 1)")
     cluster.add_argument("--faults", default=None, metavar="SPEC",
                          help="fault plan, e.g. 'loss=0.01,corrupt="
                               "0.001,flap=2:1@500+200,kill=0:3@1000,"
@@ -427,6 +450,25 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--json", action="store_true",
                       help="machine-readable findings")
     lint.set_defaults(func=_cmd_lint)
+
+    check = sub.add_parser(
+        "check", help="ownership/race checker: static SRSW and actor "
+                      "analysis (RACE201-RACE204) plus happens-before "
+                      "trace replay")
+    check.add_argument("--root", default=None,
+                       help="directory to check (default: the "
+                            "installed repro package)")
+    check.add_argument("--suppressions", default=None,
+                       help="audited-exception file (default: "
+                            "repro/analysis/ownership_baseline.txt)")
+    check.add_argument("--json", action="store_true",
+                       help="machine-readable findings")
+    check.add_argument("--replay", metavar="TRACE", action="append",
+                       default=None,
+                       help="verify a happens-before trace recorded "
+                            "with 'repro cluster --trace-out'; "
+                            "repeatable")
+    check.set_defaults(func=_cmd_check)
 
     for name, fn in (("latency", _cmd_latency),
                      ("receive", _cmd_receive),

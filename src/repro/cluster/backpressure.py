@@ -64,6 +64,12 @@ class _FlowGate:
 class CreditGate:
     """Per-VCI emission gate at one host's fabric ingress.
 
+    The flow table is setup-written and boundary-retired; credit
+    windows move only through ``refill``/``pause``, which arrive as
+    boundary messages (cross-shard effectors, RACE202).
+
+    SRSW: _flows via open_vci, retire_vci
+
     Two optional recovery mechanisms guard the credit loop against an
     unreliable fabric (both default off, so a loss-free run is
     bit-for-bit unchanged):

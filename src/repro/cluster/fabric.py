@@ -74,6 +74,7 @@ from typing import TYPE_CHECKING, Optional, Sequence, Union
 from ..atm.aal5 import SegmentMode
 from ..atm.link import OC3_MBPS
 from ..atm.striping import SkewModel, StripedLink
+from ..analysis.sanitize import maybe_actor
 from ..atm.switch import BACKPRESSURE_MODES, DRAIN_POLICIES, CellSwitch
 from ..faults import FaultPlan, FaultSite
 from ..hw.specs import STRIPE_LINKS, MachineSpec
@@ -177,7 +178,17 @@ class _UplinkTrainPort:
 
 
 class Fabric:
-    """N hosts wired through one or more output-queued cell switches."""
+    """N hosts wired through one or more output-queued cell switches.
+
+    All cross-shard effects are applied by the boundary dispatcher
+    (``_apply_boundary`` / ``_apply_train``), the only context allowed
+    to touch remote-visible state (RACE202); ``_dispatch_fused`` is
+    the fused cell-train fold, where order-sensitive operations are
+    banned (RACE203) because one event stands in for many cells.
+
+    Boundary: _apply_boundary, _apply_train
+    Fold: _dispatch_fused
+    """
 
     def __init__(self, machines: Union[MachineSpec, Sequence[MachineSpec]],
                  n_hosts: Optional[int] = None, *,
@@ -462,17 +473,18 @@ class Fabric:
         if self.recovery is not None:
             self.recovery.note_arrival(switch_index,
                                        train.cells[0].vci)
-        result = self.switches[switch_index].input_train(train)
+        with maybe_actor("boundary.train-fold"):
+            result = self.switches[switch_index].input_train(train)
         if result is None:
             # This event *is* the first cell's arrival; the rest get
             # their own keyed events at their recorded times.
-            self._apply_boundary(("in", switch_index, host_index,
-                                  train.cells[0]))
+            self._expand_fire(("in", switch_index, host_index,
+                               train.cells[0]))
             for i in range(1, len(train.cells)):
                 self.sim.call_at(
                     train.times[i],
                     lambda m=("in", switch_index, host_index,
-                              train.cells[i]): self._apply_boundary(m),
+                              train.cells[i]): self._expand_fire(m),
                     key=train.cell_key(i))
             return
         n = len(train.cells)
@@ -480,7 +492,15 @@ class Fabric:
             self._uplink_arrived[host_index] += n
         else:
             self._isw_in_flight -= n
-        self._dispatch_fused(switch_index, *result)
+        with maybe_actor("boundary.train-fold"):
+            self._dispatch_fused(switch_index, *result)
+
+    def _expand_fire(self, msg) -> None:
+        """One expanded cell's arrival.  The pointer-ownership
+        sanitizer attributes everything downstream to the train
+        expansion path (a sub-actor of the boundary dispatcher)."""
+        with maybe_actor("boundary.train-expand"):
+            self._apply_boundary(msg)
 
     def _dispatch_fused(self, switch_index: int, trunk_id: int,
                         lane: int, cells_out: list,
@@ -540,11 +560,12 @@ class Fabric:
         loop's event did at this timestamp except the counting, which
         moved to commit time."""
         def fire() -> None:
-            if cell.efci:
-                self._note_efci(cell.vci)
-            board_deliver(cell)
-            if hook is not None:
-                hook()
+            with maybe_actor("boundary.train-edge"):
+                if cell.efci:
+                    self._note_efci(cell.vci)
+                board_deliver(cell)
+                if hook is not None:
+                    hook()
         return fire
 
     def set_train_sink(self, host_index: int, sink) -> None:

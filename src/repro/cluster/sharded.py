@@ -35,7 +35,9 @@ every mailbox has drained -- the "quiescent at horizon" guarantee.
 from __future__ import annotations
 
 import functools
+import json
 from dataclasses import asdict
+from pathlib import Path
 from typing import Optional
 
 from ..sim import SimulationError
@@ -53,7 +55,8 @@ from .workloads import (
 class ShardFabric(Fabric):
     """One shard's slice of a fabric (topology-partitioned hosts)."""
 
-    def __init__(self, shard_index: int, n_shards: int, **fabric_kwargs):
+    def __init__(self, shard_index: int, n_shards: int,
+                 hb_trace: bool = False, **fabric_kwargs):
         if not (0 <= shard_index < n_shards):
             raise SimulationError(
                 f"shard index {shard_index} outside 0..{n_shards - 1}")
@@ -71,6 +74,10 @@ class ShardFabric(Fabric):
         self.n_shards = n_shards
         self._outbox: list = []
         self._may_emit_cache: Optional[bool] = None
+        # Happens-before event log (repro check --replay): every
+        # cross-shard send and delivery, observation only -- recording
+        # never perturbs the simulation.
+        self.hb_trace: Optional[list] = [] if hb_trace else None
         super().__init__(**fabric_kwargs)
 
     # -- ownership ---------------------------------------------------------------
@@ -141,6 +148,11 @@ class ShardFabric(Fabric):
                     "its flow table says it never can; the window "
                     "coalescing analysis missed an emission path")
             self._outbox.append((dest, when, key, msg))
+            if self.hb_trace is not None:
+                self.hb_trace.append({
+                    "type": "send", "shard": self.shard_index,
+                    "dest": dest, "emit": self.sim.now, "when": when,
+                    "key": list(key), "kind": msg[0]})
 
     # -- emission capability (window coalescing) ----------------------------------
 
@@ -187,6 +199,12 @@ class ShardFabric(Fabric):
             for dest in range(self.n_shards):
                 if dest != self.shard_index:
                     self._outbox.append((dest, when, key, msg))
+                    if self.hb_trace is not None:
+                        self.hb_trace.append({
+                            "type": "send",
+                            "shard": self.shard_index, "dest": dest,
+                            "emit": self.sim.now, "when": when,
+                            "key": list(key), "kind": msg[0]})
 
     def _compute_may_emit(self) -> bool:
         me = self.shard_index
@@ -238,6 +256,11 @@ class ShardFabric(Fabric):
     def deliver(self, batch: list) -> None:
         for when, key, msg in batch:
             self.sim.call_at(when, self._applier(msg), key=key)
+            if self.hb_trace is not None:
+                self.hb_trace.append({
+                    "type": "recv", "shard": self.shard_index,
+                    "at": self.sim.now, "when": when,
+                    "key": list(key), "kind": msg[0]})
 
     def _applier(self, msg: tuple):
         return lambda: self._apply_boundary(msg)
@@ -297,6 +320,7 @@ class _ShardProgram:
                 gates[i] = {"name": host.name, **gate.stats()}
         return {
             "shard": fabric.shard_index,
+            "hb_trace": fabric.hb_trace,
             "events_processed": fabric.sim.events_processed,
             "events_absorbed": fabric.sim.events_absorbed,
             "hosts": {i: asdict(host.stats())
@@ -349,7 +373,8 @@ class _ShardProgram:
 
 def _build_shard(index: int, n_shards: int, fabric_kwargs: dict,
                  spec: WorkloadSpec, sanitize: bool = False,
-                 transport: str = "struct") -> _ShardProgram:
+                 transport: str = "struct",
+                 trace: bool = False) -> _ShardProgram:
     """Worker-side constructor (module-level so it crosses into a
     child process)."""
     if sanitize:
@@ -357,7 +382,8 @@ def _build_shard(index: int, n_shards: int, fabric_kwargs: dict,
         # in the child, where the parent's hooks do not exist.
         from ..analysis import sanitize as _sanitize
         _sanitize.enable()
-    fabric = ShardFabric(index, n_shards, **fabric_kwargs)
+    fabric = ShardFabric(index, n_shards, hb_trace=trace,
+                         **fabric_kwargs)
     clients, finishers = setup_workload(fabric, spec)
     codec = BoundaryCodec() if transport == "struct" else None
     return _ShardProgram(fabric, clients, finishers, codec=codec)
@@ -522,6 +548,7 @@ def run_cluster_sharded(
         fabric_kwargs: dict, spec: WorkloadSpec, n_shards: int,
         backend: str = "proc", sanitize: bool = False,
         coalesce: bool = True, transport: str = "struct",
+        trace_path=None,
 ) -> tuple[ClusterReport, ParallelRunResult]:
     """Run one cluster workload split across ``n_shards`` simulators.
 
@@ -536,6 +563,10 @@ def run_cluster_sharded(
     the compact fixed-record codec, or ``"pickle"``, the legacy
     per-tuple baseline).  Neither knob changes the report -- both are
     exercised by the byte-identity determinism tests.
+    ``trace_path`` records every cross-shard boundary send and
+    delivery into a happens-before trace document at that path, for
+    ``repro check --replay`` (observation only; the report stays
+    byte-identical).
     """
     if backend not in BACKENDS:
         raise SimulationError(
@@ -547,7 +578,8 @@ def run_cluster_sharded(
     window_us = fabric_kwargs.get("prop_delay_us", 2.0)
     factory = functools.partial(_build_shard, n_shards=n_shards,
                                 fabric_kwargs=fabric_kwargs, spec=spec,
-                                sanitize=sanitize, transport=transport)
+                                sanitize=sanitize, transport=transport,
+                                trace=trace_path is not None)
     window_probe = None
     if sanitize:
         from ..analysis.sanitize import check_window_conservation
@@ -556,6 +588,13 @@ def run_cluster_sharded(
                      window_probe=window_probe, coalesce=coalesce)
     report = merge_partials(fabric_kwargs, spec, run.partials,
                             run.t_end)
+    if trace_path is not None:
+        from ..analysis.causality import build_trace_doc
+        doc = build_trace_doc(
+            [p.get("hb_trace") for p in run.partials],
+            n_shards, window_us)
+        Path(trace_path).write_text(
+            json.dumps(doc, indent=2, sort_keys=True) + "\n")
     return report, run
 
 

@@ -66,6 +66,13 @@ class DescriptorQueue:
     One side (host or board) is the writer, the other the reader;
     ``host_is_writer`` fixes which.  The *capacity* is ``size - 1``
     because of the full test above.
+
+    Ownership contract (paper section 2.1.1), checked statically by
+    ``repro check`` and dynamically by ``--sanitize``: exactly one
+    actor advances each pointer.
+
+    SRSW: head via push
+    SRSW: tail via pop
     """
 
     def __init__(self, dualport: DualPortMemory, base: int, size: int,

@@ -30,6 +30,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Any, Generator, Optional
 
+from ..analysis.sanitize import maybe_actor
 from ..atm.aal5 import Aal5Error, BadCrc, Reassembler, SegmentMode, encode_pdu
 from ..atm.cell import Cell
 from ..atm.sar import (
@@ -264,7 +265,7 @@ class RxProcessor:
             yield channel.free_queue.became_nonempty
 
     def _discard_open_buffers(self, state: _VciState) -> None:
-        for bucket in state.buckets.values():
+        for _, bucket in sorted(state.buckets.items()):
             state.channel.anon_pool.append(bucket.desc)
         state.buckets.clear()
 
@@ -457,8 +458,13 @@ class RxProcessor:
                           desc: Descriptor) -> Generator[Any, Any, None]:
         queue = channel.recv_queue
         while True:
-            was_empty = queue.is_empty(by_host=False)
-            if queue.push(desc, by_host=False):
+            # The adaptor-side pointer moves under the rx-processor
+            # actor so the SRSW sanitizer can name the second writer
+            # if one ever appears (paper section 2.1.1).
+            with maybe_actor("rx-processor"):
+                was_empty = queue.is_empty(by_host=False)
+                pushed = queue.push(desc, by_host=False)
+            if pushed:
                 if self.interrupt_mode is InterruptMode.PER_PDU:
                     if desc.end_of_pdu:
                         self.board.raise_receive_irq(channel)

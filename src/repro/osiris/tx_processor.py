@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Generator, Optional
 
+from ..analysis.sanitize import maybe_actor
 from ..atm.aal5 import SegmentMode, cell_count, encode_pdu
 from ..atm.cell import Cell
 from ..atm.striping import StripedLink
@@ -98,7 +99,8 @@ class _PduTransmission:
         """Pop any descriptors not consumed by the data walk (empty
         buffers of a degenerate PDU)."""
         while self._desc_index < len(self.descs):
-            self.channel.tx_queue.pop(by_host=False)
+            with maybe_actor("tx-processor"):
+                self.channel.tx_queue.pop(by_host=False)
             self.txp._maybe_tx_space_irq(self.channel)
             self._desc_index += 1
 
@@ -125,7 +127,8 @@ class _PduTransmission:
             if self._buf_offset == desc.length:
                 # Buffer fully read: NOW advance the tail pointer --
                 # the host's transmission-complete signal.
-                popped = self.channel.tx_queue.pop(by_host=False)
+                with maybe_actor("tx-processor"):
+                    popped = self.channel.tx_queue.pop(by_host=False)
                 assert popped == desc
                 self.txp._maybe_tx_space_irq(self.channel)
                 self._desc_index += 1
@@ -298,7 +301,8 @@ class TxProcessor:
                 self.violations += 1
                 self.board.raise_protection_irq(channel)
                 for _ in descs:  # discard the whole PDU
-                    channel.tx_queue.pop(by_host=False)
+                    with maybe_actor("tx-processor"):
+                        channel.tx_queue.pop(by_host=False)
                     self._maybe_tx_space_irq(channel)
                 return None
         yield Delay(self.board.spec.tx_pdu_overhead_us)

@@ -106,7 +106,25 @@ class _Direction:
 
 class RecoveryManager:
     """Heartbeat detection + deterministic ECMP failover for one
-    fabric instance (plain or one shard of a sharded run)."""
+    fabric instance (plain or one shard of a sharded run).
+
+    Ownership splits along the PR 9 design: the probe chain
+    (``arm`` -> ``_schedule_probe`` -> ``_probe`` -> ``_declare``)
+    runs only on the element's owning shard (the 'recovery' actor),
+    while everything downstream of a dead declaration is replicated
+    deterministic computation driven by the broadcast boundary
+    message (``apply_dead``, the 'boundary' actor).  RACE204 holds
+    each field to its side of that line.
+
+    Root: arm -> recovery
+    Boundary: apply_dead
+    Owner: _elements -> recovery
+    Owner: probes_sent -> recovery
+    Owner: _records -> boundary
+    Owner: _masked -> boundary
+    Owner: _dead_downlinks -> boundary
+    Owner: _watches -> boundary
+    """
 
     def __init__(self, fabric: "Fabric", cfg: RecoveryConfig):
         if fabric.topo is None:

@@ -1,0 +1,49 @@
+"""Fixture: disciplined single-owner usage -- checks clean.
+
+Every annotated contract below is honoured: one actor per SRSW
+pointer, effectors invoked only by the boundary dispatcher, no
+order-sensitive operations inside the fold, owned fields written
+only by their owner.
+"""
+
+
+class DescriptorQueue:
+    """Shared descriptor ring (fixture twin of osiris.queues).
+
+    SRSW: head via push
+    SRSW: tail via pop
+    """
+
+    def __init__(self):
+        self.head = 0
+        self.tail = 0
+
+    def push(self, desc, by_host=True):
+        self.head += 1
+
+    def pop(self, by_host=True):
+        self.tail += 1
+
+
+class Channel:
+    def __init__(self):
+        self.tx_queue = DescriptorQueue()
+        self.recv_queue = DescriptorQueue()
+
+
+class TxProcessor:
+    def __init__(self, channel: Channel):
+        self.channel = channel
+
+    def run(self):
+        self.channel.tx_queue.pop(by_host=False)
+
+
+class HostDriver:
+    """Owner: host"""
+
+    def __init__(self, channel: Channel):
+        self.channel = channel
+
+    def send(self, desc):
+        self.channel.tx_queue.push(desc)

@@ -1,0 +1,45 @@
+"""Fixture: RACE201 -- a second actor advances an SRSW pointer.
+
+The transmit queue's tail pointer belongs to whichever actor first
+pops it (here the tx-processor); the rx-processor popping the same
+queue attribute is the paper's section 2.1.1 violation.
+"""
+
+
+class DescriptorQueue:
+    """Shared descriptor ring (fixture twin of osiris.queues).
+
+    SRSW: head via push
+    SRSW: tail via pop
+    """
+
+    def __init__(self):
+        self.head = 0
+        self.tail = 0
+
+    def push(self, desc, by_host=True):
+        self.head += 1
+
+    def pop(self, by_host=True):
+        self.tail += 1
+
+
+class Channel:
+    def __init__(self):
+        self.tx_queue = DescriptorQueue()
+
+
+class TxProcessor:
+    def __init__(self, channel: Channel):
+        self.channel = channel
+
+    def drain(self):
+        self.channel.tx_queue.pop(by_host=False)
+
+
+class RxProcessor:
+    def __init__(self, channel: Channel):
+        self.channel = channel
+
+    def steal_tail(self):
+        self.channel.tx_queue.pop(by_host=False)  # RACE201

@@ -1,0 +1,21 @@
+"""Fixture: RACE202 -- cross-shard effector invoked off-boundary.
+
+``CellSwitch.input_cell`` mutates state that remote shards observe;
+only the boundary dispatcher may apply it.  Here the rx-processor
+short-circuits the boundary message and calls the switch directly.
+"""
+
+
+class CellSwitch:
+    """Output-queued switch (fixture twin of atm.switch)."""
+
+    def input_cell(self, cell, key=None):
+        pass
+
+
+class RxProcessor:
+    def __init__(self, switch: CellSwitch):
+        self.switch = switch
+
+    def deliver_upstream(self, cell):
+        self.switch.input_cell(cell)  # RACE202

@@ -1,0 +1,22 @@
+"""Fixture: RACE203 -- order-sensitive operation inside a fold.
+
+A fused cell-train commit must be order-insensitive: per-cell
+expansion would interleave these ``put`` calls with other events at
+the same timestamps, so a FIFO mutated inside the fold diverges from
+the plain path.
+"""
+
+
+class TrainFolder:
+    """Fused-commit surface (fixture twin of the switch fold).
+
+    Fold: input_train
+    """
+
+    def __init__(self, fifo):
+        self.fifo = fifo
+
+    def input_train(self, train):
+        for cell in train.cells:
+            self.fifo.put(cell)  # RACE203
+        return len(train.cells)

@@ -1,0 +1,27 @@
+"""Fixture: RACE204 -- owned recovery state written off-owner.
+
+``_records`` belongs to the boundary dispatcher (remote heartbeat
+records arrive as boundary messages); the local heartbeat chain
+(``Root: arm -> recovery``) writing it bypasses that ordering.
+"""
+
+
+class RecoveryManager:
+    """Failure detector (fixture twin of recovery.manager).
+
+    Root: arm -> recovery
+    Owner: _records -> boundary
+    Owner: probes_sent -> recovery
+    Boundary: apply_remote
+    """
+
+    def __init__(self):
+        self._records = {}
+        self.probes_sent = 0
+
+    def arm(self):
+        self.probes_sent += 1
+        self._records["self"] = 0  # RACE204
+
+    def apply_remote(self, peer, stamp):
+        self._records[peer] = stamp

@@ -42,10 +42,13 @@ def test_clean_fixture_has_no_findings():
 
 
 def test_scope_gating():
-    # The same source that fires DET103 inside cluster/ is silent in a
-    # package where iteration order cannot reach events or reports.
+    # Scope is an exclusion list: xkernel/ (silently unchecked under
+    # the old explicit inclusion list) now fires DET103 like any other
+    # model package; only bench/ and baselines/ are exempt.
     source = (FIXTURES / "det103.py").read_text()
-    assert lint_source(source, "xkernel/det103.py") == []
+    assert [f.rule for f in lint_source(source, "xkernel/det103.py")] \
+        == ["DET103"]
+    assert lint_source(source, "baselines/det103.py") == []
     # And bench/ may read wall clocks.
     source = (FIXTURES / "det102.py").read_text()
     assert lint_source(source, "bench/det102.py") == []
